@@ -1,0 +1,24 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper (see
+DESIGN.md's experiment index), asserts the paper's *shape* claims (who
+wins, error bands, crossovers), prints the regenerated table, and records
+wall time through pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.validation.reporting import ExperimentResult, render_table
+
+
+def regenerate(benchmark, driver, **kwargs) -> ExperimentResult:
+    """Run one experiment driver under the benchmark timer (one round)."""
+    result = benchmark.pedantic(
+        lambda: driver(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["rows"] = len(result.rows)
+    print("\n" + render_table(result))
+    return result

@@ -1,0 +1,14 @@
+"""Section 6: why DVFS must be disabled for accurate emulation."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_dvfs_ablation
+
+
+def test_dvfs_ablation(benchmark):
+    result = regenerate(benchmark, run_dvfs_ablation)
+    by_state = {row["dvfs"]: row["error_pct"] for row in result.rows}
+    assert by_state["disabled"] < 2.0
+    # Frequency wander breaks the cycle<->ns translation.
+    assert by_state["enabled"] > 2 * by_state["disabled"]
+    assert by_state["enabled"] > 3.0

@@ -1,0 +1,15 @@
+"""Section 4.4 footnote 4: accuracy vs. maximum epoch size."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_epoch_size_study
+
+
+def test_epoch_size_study(benchmark):
+    result = regenerate(benchmark, run_epoch_size_study)
+    by_epoch = {row["max_epoch_ms"]: row["error_pct"] for row in result.rows}
+    # 1 ms and 10 ms epochs hold accuracy; 100 ms degrades it badly on a
+    # scaled-down run (the paper's second-long runs degrade more gently).
+    assert by_epoch[1.0] < 6.0
+    assert by_epoch[10.0] < 6.0
+    assert by_epoch[100.0] > 3 * by_epoch[10.0]

@@ -1,0 +1,15 @@
+"""Figure 11: MemLat emulation error vs. concurrent pointer chains."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_figure11
+
+
+def test_figure11(benchmark):
+    result = regenerate(benchmark, run_figure11, trials=3)
+    # Paper: emulated and measured within 0.2%-4% for every chain count
+    # on all three testbeds.
+    for row in result.rows:
+        assert row["error_pct"] < 4.5, row
+    # All six chain counts on all three families present.
+    assert len(result.rows) == 18

@@ -1,0 +1,19 @@
+"""Figure 14: MultiLat under the two-memory (DRAM + virtual NVM) mode."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_figure14
+
+
+def test_figure14(benchmark):
+    result = regenerate(benchmark, run_figure14)
+    # Completion time matches the closed form across patterns and
+    # configurations.  Paper: <1.2% average; we allow the modelled
+    # counter bias a little more (see EXPERIMENTS.md).
+    for row in result.rows:
+        assert row["avg_error_pct"] < 3.5, row
+        assert row["max_error_pct"] < 6.0, row
+    # Both capable families produced full sweeps (Sandy Bridge cannot:
+    # no local/remote counter split).
+    families = {row["processor"] for row in result.rows}
+    assert families == {"IvyBridge", "Haswell"}

@@ -1,0 +1,14 @@
+"""Figure 15: KV-store (MassTree stand-in) validation errors."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_figure15
+
+
+def test_figure15(benchmark):
+    result = regenerate(benchmark, run_figure15)
+    # Paper: 2-8% on Sandy Bridge for put/s and get/s at 1-8 threads.
+    for row in result.rows:
+        assert row["put_error_pct"] < 8.0, row
+        assert row["get_error_pct"] < 8.0, row
+    assert [row["threads"] for row in result.rows] == [1, 2, 4, 8]

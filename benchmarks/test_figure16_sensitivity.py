@@ -1,0 +1,45 @@
+"""Figure 16: PageRank and KV-store sensitivity to NVM latency/bandwidth."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import (
+    run_figure16_bandwidth,
+    run_figure16_latency,
+)
+from repro.workloads.pagerank import PageRankConfig
+
+#: Fewer power iterations keep the sweep fast; sensitivity ratios are
+#: per-iteration properties, so the shape is unchanged.
+BENCH_PAGERANK = PageRankConfig(max_iterations=6, tolerance=1e-15)
+
+
+def test_figure16_latency(benchmark):
+    result = regenerate(
+        benchmark, run_figure16_latency, pagerank=BENCH_PAGERANK
+    )
+    by_latency = {row["nvm_latency_ns"]: row for row in result.rows}
+    # PageRank: mild at 200 ns, >5x at 2 us (non-linear degradation).
+    assert by_latency[200.0]["pagerank_ct_rel"] < 1.35
+    assert by_latency[2000.0]["pagerank_ct_rel"] > 4.5
+    # KV store gets: roughly -15% at 200 ns, several-fold down at 2 us.
+    assert 0.78 < by_latency[200.0]["kv_gets_rel"] < 0.95
+    assert by_latency[2000.0]["kv_gets_rel"] < 0.35
+    # Monotone worsening with latency.
+    latencies = sorted(by_latency)
+    pr = [by_latency[lat]["pagerank_ct_rel"] for lat in latencies]
+    assert all(b >= a - 1e-9 for a, b in zip(pr, pr[1:]))
+
+
+def test_figure16_bandwidth(benchmark):
+    result = regenerate(
+        benchmark, run_figure16_bandwidth, pagerank=BENCH_PAGERANK
+    )
+    by_bw = {row["nvm_bandwidth_gbps"]: row for row in result.rows}
+    # Paper: PageRank only impacted below ~3 GB/s...
+    assert by_bw[0.5]["pagerank_ct_rel"] > 2.0
+    assert by_bw[3.0]["pagerank_ct_rel"] < 1.5
+    assert by_bw[10.0]["pagerank_ct_rel"] < 1.1
+    # ... and the KV store only below ~1.5 GB/s.
+    assert by_bw[0.5]["kv_puts_rel"] < 0.9
+    assert by_bw[5.0]["kv_puts_rel"] > 0.93
+    assert by_bw[5.0]["kv_gets_rel"] > 0.93

@@ -1,0 +1,23 @@
+"""Figure 8: STREAM bandwidth vs. thermal-control register (Sandy Bridge)."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_figure8
+
+
+def test_figure8(benchmark):
+    result = regenerate(benchmark, run_figure8)
+    registers = result.column("register")
+    bandwidths = result.column("bandwidth_gbps")
+    # Monotone non-decreasing in register value.
+    assert all(b >= a - 1e-9 for a, b in zip(bandwidths, bandwidths[1:]))
+    # Linear region: bandwidth proportional to register value at the low
+    # end (compare the 2nd and 3rd points; the 1st is the near-zero floor).
+    ratio = bandwidths[2] / bandwidths[1]
+    expected = registers[2] / registers[1]
+    assert abs(ratio - expected) / expected < 0.1
+    # Plateau at the application's attainable maximum, below machine peak.
+    assert bandwidths[-1] == bandwidths[-2] == bandwidths[-3]
+    from repro.hw import SANDY_BRIDGE
+
+    assert bandwidths[-1] < SANDY_BRIDGE.peak_bw_bytes_per_ns

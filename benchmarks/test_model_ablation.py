@@ -1,0 +1,25 @@
+"""Figure 2 quantified: Eq. (1) over-injects by the MLP factor."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_model_ablation
+
+
+def test_model_ablation(benchmark):
+    result = regenerate(benchmark, run_model_ablation)
+    stalls = {
+        row["chains"]: row for row in result.rows if row["model"] == "stalls"
+    }
+    simple = {
+        row["chains"]: row for row in result.rows if row["model"] == "simple"
+    }
+    # The stall-based model stays accurate at every parallelism degree.
+    for row in stalls.values():
+        assert row["error_pct"] < 2.0, row
+    # The simple model matches at MLP=1 but over-injects ~MLP-fold beyond.
+    assert simple[1]["error_pct"] < 5.0
+    target = 600.0
+    for chains in (2, 4, 8):
+        # Measured latency blows up towards chains * target.
+        assert simple[chains]["measured_ns"] > 0.6 * chains * target
+    assert simple[8]["error_pct"] > simple[4]["error_pct"] > simple[2]["error_pct"]

@@ -1,0 +1,21 @@
+"""Section 3.2: emulator overhead accounting and backend comparison."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_overhead_study
+
+
+def test_overhead_study(benchmark):
+    result = regenerate(benchmark, run_overhead_study)
+    rows = {row["quantity"]: row["value"] for row in result.rows}
+    # The paper's constants.
+    assert rows["thread registration (cycles)"] == 300_000
+    assert 3500 <= rows["epoch processing, rdpmc (cycles)"] <= 4500
+    assert 25_000 <= rows["counter read, PAPI-style (cycles)"] <= 35_000
+    # Switched-off-injection overhead: <4% with rdpmc; PAPI much worse.
+    rdpmc = rows["switched-off-injection overhead, rdpmc (%)"]
+    papi = rows["switched-off-injection overhead, papi (%)"]
+    assert rdpmc < 4.0
+    assert papi > 3 * rdpmc
+    # Overhead amortisation works.
+    assert rows["overhead amortized into delays (%)"] > 90.0

@@ -1,0 +1,23 @@
+"""Section 4.7: PageRank completion-time validation (paper: 2.9%)."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_pagerank_validation
+from repro.workloads.pagerank import PageRankConfig, default_graph
+
+#: Scaled-down graph for the benchmark harness (full default is 600k).
+BENCH_CONFIG = PageRankConfig(
+    vertex_count=300_000, edges_per_vertex=6, max_iterations=15,
+    tolerance=1e-15,
+)
+
+
+def test_pagerank_validation(benchmark):
+    graph = default_graph(BENCH_CONFIG)
+    result = regenerate(
+        benchmark, run_pagerank_validation, workload=BENCH_CONFIG, graph=graph
+    )
+    row = result.rows[0]
+    # Paper reports 2.9%; hold the reproduction under 5%.
+    assert row["error_pct"] < 5.0, row
+    assert row["iterations"] == BENCH_CONFIG.max_iterations

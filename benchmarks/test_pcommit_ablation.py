@@ -1,0 +1,20 @@
+"""Section 6: the pcommit write model vs. pessimistic pflush."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_pcommit_ablation
+
+INDEPENDENT_WRITES = 16
+
+
+def test_pcommit_ablation(benchmark):
+    result = regenerate(
+        benchmark, run_pcommit_ablation, independent_writes=INDEPENDENT_WRITES
+    )
+    by_model = {row["write_model"]: row["ns_per_barrier"] for row in result.rows}
+    # pflush serialises: ~writes x write latency per barrier.
+    assert by_model["pflush"] > 0.9 * INDEPENDENT_WRITES * 1000.0
+    # pcommit overlaps independent writes: order one write latency.
+    assert by_model["pcommit"] < 2_500.0
+    speedup = by_model["pflush"] / by_model["pcommit"]
+    assert speedup > INDEPENDENT_WRITES / 2

@@ -1,0 +1,21 @@
+"""Table 2: measured local/remote memory latencies on all testbeds."""
+
+from conftest import regenerate
+
+from repro.validation.experiments import run_table2
+
+
+def test_table2(benchmark):
+    result = regenerate(benchmark, run_table2)
+    rows = {row["processor"]: row for row in result.rows}
+    # Paper Table 2 averages, within measurement slack.
+    for family, local, remote in [
+        ("SandyBridge", 97.0, 163.0),
+        ("IvyBridge", 87.0, 176.0),
+        ("Haswell", 120.0, 175.0),
+    ]:
+        assert abs(rows[family]["avg_local"] - local) / local < 0.05
+        assert abs(rows[family]["avg_remote"] - remote) / remote < 0.05
+        # Remote latencies vary more than local ones.
+        assert rows[family]["min_remote"] <= rows[family]["max_remote"]
+        assert rows[family]["avg_local"] < rows[family]["avg_remote"]

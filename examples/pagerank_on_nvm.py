@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""PageRank on emulated NVM: the Figure 16(a) sensitivity curve.
+
+Runs genuine power-iteration PageRank (real ranks, real convergence) on a
+synthetic scale-free graph whose working set lives in emulated persistent
+memory, across a range of NVM latencies, and renders the completion-time
+curve as ASCII — the study a systems designer would run before committing
+to an NVM part.
+
+Run:  python examples/pagerank_on_nvm.py
+"""
+
+from repro import SANDY_BRIDGE, QuartzConfig, calibrate_arch
+from repro.validation.configs import run_conf1, run_native
+from repro.workloads.pagerank import PageRankConfig, default_graph, pagerank_body
+
+LATENCIES_NS = [200.0, 300.0, 500.0, 1000.0, 2000.0]
+
+
+def main() -> None:
+    workload = PageRankConfig(max_iterations=8, tolerance=1e-15)
+    graph = default_graph(workload)
+    print(
+        f"PageRank on {graph.vertex_count:,} vertices / "
+        f"{graph.edge_count:,} arcs, {workload.max_iterations} iterations\n"
+    )
+
+    def factory(out):
+        return pagerank_body(workload, out, graph=graph)
+
+    calibration = calibrate_arch(SANDY_BRIDGE)
+    baseline = run_native(SANDY_BRIDGE, factory, seed=5).workload_result
+    print(
+        f"DRAM baseline ({calibration.dram_local_ns:.0f} ns): "
+        f"{baseline.elapsed_ns / 1e6:.0f} ms, top vertex "
+        f"{baseline.top_vertex}"
+    )
+    print(f"\n{'NVM latency':>12} {'CT':>9} {'relative':>9}  curve")
+    points = []
+    for latency in LATENCIES_NS:
+        config = QuartzConfig(nvm_read_latency_ns=latency)
+        result = run_conf1(
+            SANDY_BRIDGE, factory, config, seed=5, calibration=calibration
+        ).workload_result
+        relative = result.elapsed_ns / baseline.elapsed_ns
+        points.append((latency, relative))
+        bar = "#" * round(8 * relative)
+        print(
+            f"{latency:>9.0f} ns {result.elapsed_ns / 1e6:>6.0f} ms "
+            f"{relative:>8.2f}x  {bar}"
+        )
+    print(
+        "\nnon-linear degradation: modest until a few hundred ns, then "
+        f"{points[-1][1]:.1f}x at {points[-1][0]:.0f} ns — the Figure 16(a) "
+        "shape that argues for latency-tolerant data structures on NVM."
+    )
+
+
+if __name__ == "__main__":
+    main()

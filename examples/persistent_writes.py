@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Persistent-write emulation: pflush vs. the pcommit model (Section 6).
+
+A write-ahead log appends records to persistent memory.  Each append
+persists several independent cache lines (the record's fields) and then
+needs a persistence barrier before acknowledging.  Under the paper's
+``pflush`` model every line stall-waits the full NVM write latency; under
+the ``clflushopt``/``pcommit`` extension the flushes overlap and only the
+barrier waits — the difference decides whether your log does 60k or 800k
+appends per second.
+
+Run:  python examples/persistent_writes.py
+"""
+
+from repro import (
+    Commit,
+    Compute,
+    IVY_BRIDGE,
+    Machine,
+    Quartz,
+    QuartzConfig,
+    SimOS,
+    Simulator,
+    WriteModel,
+    calibrate_arch,
+)
+from repro.units import MIB
+
+NVM_WRITE_LATENCY_NS = 1000.0
+RECORD_LINES = 6          # fields persisted per log record
+APPENDS = 2_000
+CPU_WORK_CYCLES = 400.0   # serialisation, checksum
+
+
+def run_log(write_model: WriteModel) -> float:
+    sim = Simulator(seed=3)
+    machine = Machine(sim, IVY_BRIDGE)
+    os = SimOS(machine)
+    quartz = Quartz(
+        os,
+        QuartzConfig(
+            nvm_read_latency_ns=200.0,
+            nvm_write_latency_ns=NVM_WRITE_LATENCY_NS,
+            write_model=write_model,
+        ),
+        calibration=calibrate_arch(IVY_BRIDGE),
+    )
+    quartz.attach()
+    elapsed = {}
+
+    def log_writer(ctx):
+        log_region = ctx.pmalloc(64 * MIB, label="wal")
+        start = ctx.now_ns
+        for _ in range(APPENDS):
+            yield Compute(CPU_WORK_CYCLES)
+            # Persist the record's independent lines...
+            for _ in range(RECORD_LINES):
+                yield from ctx.pflush(log_region, lines=1)
+            # ...and the persistence barrier before acking.
+            yield Commit()
+        elapsed["ns"] = ctx.now_ns - start
+
+    os.create_thread(log_writer, name="wal-writer")
+    os.run_to_completion()
+    return elapsed["ns"]
+
+
+def main() -> None:
+    print(
+        f"write-ahead log: {APPENDS} appends x {RECORD_LINES} lines, "
+        f"NVM write latency {NVM_WRITE_LATENCY_NS:.0f} ns\n"
+    )
+    results = {}
+    for model in (WriteModel.PFLUSH, WriteModel.PCOMMIT):
+        elapsed = run_log(model)
+        results[model] = elapsed
+        appends_per_s = APPENDS / elapsed * 1e9
+        print(
+            f"{model.value:8s}: {elapsed / 1e6:8.2f} ms total, "
+            f"{elapsed / APPENDS:8.0f} ns/append, "
+            f"{appends_per_s / 1e3:7.0f} k appends/s"
+        )
+    speedup = results[WriteModel.PFLUSH] / results[WriteModel.PCOMMIT]
+    print(
+        f"\nmodelling write parallelism (clflushopt + pcommit) speeds the "
+        f"log up {speedup:.1f}x —\nthe Section 6 argument for extending "
+        "Quartz beyond pessimistic pflush serialisation."
+    )
+
+
+if __name__ == "__main__":
+    main()

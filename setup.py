@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package (offline), so PEP 660
+editable installs cannot build an editable wheel.  This shim lets
+``pip install -e . --no-use-pep517`` fall back to ``setup.py develop``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,132 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    quartz-repro list
+    quartz-repro run figure12
+    quartz-repro run figure11 --arch ivy-bridge --trials 2
+    quartz-repro run figure16-latency -o fig16.txt
+    quartz-repro calibrate --arch haswell
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.hw.arch import arch_by_name
+from repro.quartz.calibration import calibrate_arch
+from repro.validation.experiments import REGISTRY
+from repro.validation.reporting import render_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="quartz-repro",
+        description=(
+            "Reproduction of 'Quartz: A Lightweight Performance Emulator "
+            "for Persistent Memory Software' (Middleware 2015)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(REGISTRY), metavar="experiment")
+    run.add_argument(
+        "--arch",
+        help="restrict to one processor family (where the experiment allows)",
+    )
+    run.add_argument(
+        "--trials", type=int, help="trial count (where the experiment allows)"
+    )
+    run.add_argument("-o", "--output", help="also write the table to a file")
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="print the calibration data for a testbed"
+    )
+    calibrate.add_argument("--arch", default="ivy-bridge")
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    driver = REGISTRY[args.experiment]
+    kwargs = {}
+    if args.arch:
+        arch = arch_by_name(args.arch)
+        # Drivers take either a single arch or a sequence of them.
+        import inspect
+
+        parameters = inspect.signature(driver).parameters
+        if "arch" in parameters:
+            kwargs["arch"] = arch
+        elif "archs" in parameters:
+            kwargs["archs"] = [arch]
+        else:
+            print(
+                f"note: {args.experiment} does not take an architecture",
+                file=sys.stderr,
+            )
+    if args.trials is not None:
+        import inspect
+
+        if "trials" in inspect.signature(driver).parameters:
+            kwargs["trials"] = args.trials
+        else:
+            print(
+                f"note: {args.experiment} does not take --trials",
+                file=sys.stderr,
+            )
+    started = time.time()
+    result = driver(**kwargs)
+    table = render_table(result)
+    print(table)
+    print(f"\n(completed in {time.time() - started:.1f}s wall time)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+        print(f"written to {args.output}")
+    return 0
+
+
+def _list_experiments() -> int:
+    print("available experiments (see DESIGN.md for the paper mapping):")
+    for name in sorted(REGISTRY):
+        doc = (REGISTRY[name].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {name:24s} {summary}")
+    return 0
+
+
+def _calibrate(args: argparse.Namespace) -> int:
+    arch = arch_by_name(args.arch)
+    data = calibrate_arch(arch)
+    print(f"calibration for {arch.model} ({arch.family}):")
+    print(f"  local DRAM latency : {data.dram_local_ns:8.2f} ns")
+    print(f"  remote DRAM latency: {data.dram_remote_ns:8.2f} ns")
+    print(f"  L3 latency         : {data.l3_ns:8.2f} ns")
+    print(f"  W ratio (local)    : {data.w_local:8.2f}")
+    print(f"  peak bandwidth     : {data.peak_bandwidth:8.2f} GB/s")
+    print("  throttle-register bandwidth table:")
+    for register, rate in data.bandwidth_table:
+        print(f"    {register:5d} -> {rate:6.2f} GB/s")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _list_experiments()
+    if args.command == "run":
+        return _run_experiment(args)
+    if args.command == "calibrate":
+        return _calibrate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

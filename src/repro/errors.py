@@ -1,0 +1,52 @@
+"""Exception hierarchy for the Quartz reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch simulator problems without masking genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. negative delay)."""
+
+
+class HardwareError(ReproError):
+    """The simulated hardware was configured or driven incorrectly."""
+
+
+class UnsupportedFeatureError(HardwareError):
+    """The requested feature does not exist on this processor family.
+
+    Mirrors real-world gaps the paper calls out: e.g. Sandy Bridge lacks
+    separate local/remote LLC-miss events (Table 1), so the two-memory
+    emulation mode of Section 3.3 cannot run there.
+    """
+
+
+class OsError(ReproError):
+    """The simulated OS layer was driven incorrectly (e.g. double unlock)."""
+
+
+class DeadlockError(OsError):
+    """Every runnable entity is blocked and no events remain."""
+
+
+class QuartzError(ReproError):
+    """The Quartz emulator was misconfigured or misused."""
+
+
+class CalibrationError(QuartzError):
+    """A calibration step (latency or bandwidth) produced unusable data."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload was configured incorrectly."""
+
+
+class ValidationError(ReproError):
+    """A validation experiment was configured incorrectly."""

@@ -1,0 +1,36 @@
+"""Simulated hardware substrate.
+
+Models the paper's three dual-socket Intel Xeon testbeds (Section 4.1):
+architecture specs with Table 1 performance-counter event sets and Table 2
+memory latencies (:mod:`repro.hw.arch`), NUMA topology and memory regions
+(:mod:`repro.hw.topology`), cache hierarchy (:mod:`repro.hw.cache`), TLB
+(:mod:`repro.hw.tlb`), memory controllers with thermal-throttle registers
+(:mod:`repro.hw.memory`), performance counters (:mod:`repro.hw.pmc`), DVFS
+(:mod:`repro.hw.dvfs`), the core execution engine (:mod:`repro.hw.core`),
+and the assembled machine (:mod:`repro.hw.machine`).
+"""
+
+from repro.hw.arch import (
+    ALL_ARCHS,
+    HASWELL,
+    IVY_BRIDGE,
+    SANDY_BRIDGE,
+    ArchSpec,
+    CounterEventSet,
+    arch_by_name,
+)
+from repro.hw.machine import Machine
+from repro.hw.topology import MemoryRegion, PageSize
+
+__all__ = [
+    "ALL_ARCHS",
+    "ArchSpec",
+    "CounterEventSet",
+    "HASWELL",
+    "IVY_BRIDGE",
+    "Machine",
+    "MemoryRegion",
+    "PageSize",
+    "SANDY_BRIDGE",
+    "arch_by_name",
+]

@@ -1,0 +1,60 @@
+"""Dynamic voltage/frequency scaling model.
+
+Section 6 of the paper: Quartz translates between stall *cycles* and delay
+*nanoseconds* through the nominal frequency, so DVFS — which changes the
+actual frequency under load — breaks the translation, and the authors
+disable it.  This model exists so the reproduction can quantify that
+requirement (the DVFS ablation benchmark): when enabled, each core's
+effective frequency wanders deterministically below nominal, stall-cycle
+counters accrue at the *effective* frequency, and Quartz's fixed-frequency
+conversion becomes wrong by the same factor.
+
+The TSC remains invariant (constant-rate) as on every modern Xeon, so
+Quartz's ``rdtscp`` spin loops stay accurate even with DVFS on — only the
+cycle-denominated counters drift.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import HardwareError
+
+
+class DvfsGovernor:
+    """Deterministic pseudo-load frequency governor.
+
+    With DVFS enabled the effective frequency of core *c* at time *t* is::
+
+        f(c, t) = f_nom * (1 - depth * (0.5 + 0.5 * sin(2*pi*t/period + phase_c)))
+
+    i.e. it oscillates between ``f_nom`` and ``f_nom * (1 - depth)``.
+    Deterministic by construction so experiments are reproducible.
+    """
+
+    def __init__(self, nominal_ghz: float, depth: float = 0.15,
+                 period_ns: float = 2_000_000.0):
+        if not 0.0 <= depth < 1.0:
+            raise HardwareError(f"DVFS depth must be in [0,1): {depth}")
+        if period_ns <= 0:
+            raise HardwareError(f"DVFS period must be positive: {period_ns}")
+        self.nominal_ghz = nominal_ghz
+        self.depth = depth
+        self.period_ns = period_ns
+        self.enabled = False
+
+    def disable(self) -> None:
+        """Pin every core at nominal frequency (the paper's setting)."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Let frequencies wander (the ablation setting)."""
+        self.enabled = True
+
+    def frequency_ghz(self, core_id: int, now_ns: float) -> float:
+        """Effective frequency of *core_id* at simulated time *now_ns*."""
+        if not self.enabled:
+            return self.nominal_ghz
+        phase = core_id * 0.7
+        wave = 0.5 + 0.5 * math.sin(2.0 * math.pi * now_ns / self.period_ns + phase)
+        return self.nominal_ghz * (1.0 - self.depth * wave)

@@ -1,0 +1,148 @@
+"""NUMA topology primitives: nodes, memory regions, address allocation.
+
+The validation methodology of the paper (Section 4.3, Figure 9) depends on
+a two-socket NUMA machine where each socket has directly-attached DRAM and
+remote accesses are physically slower.  A :class:`MemoryRegion` records
+which node backs an allocation so the cache/memory model can charge the
+right latency and the right memory controller.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareError
+from repro.units import CACHE_LINE_BYTES
+
+
+class PageSize(enum.IntEnum):
+    """Virtual-memory page sizes.
+
+    The paper's MemLat runs use 2 MB hugepages "to minimize memory accesses
+    due to TLB misses" (Section 4.4); the TLB model honours this choice.
+    """
+
+    SMALL_4K = 4 * 1024
+    HUGE_2M = 2 * 1024 * 1024
+
+
+_region_ids = itertools.count(1)
+
+
+@dataclass
+class MemoryRegion:
+    """A contiguous allocation on one NUMA node.
+
+    ``base`` addresses are assigned by a per-machine bump allocator; the
+    detailed set-associative cache simulator uses them, while the analytic
+    model only needs ``node``/``size_bytes``/``page_size``.
+    """
+
+    node: int
+    size_bytes: int
+    base: int
+    page_size: PageSize = PageSize.SMALL_4K
+    label: str = ""
+    persistent: bool = False
+    region_id: int = field(default_factory=lambda: next(_region_ids))
+    freed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise HardwareError(f"region size must be positive: {self.size_bytes}")
+        if self.base % CACHE_LINE_BYTES != 0:
+            raise HardwareError(f"region base {self.base:#x} not line-aligned")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size_bytes
+
+    @property
+    def lines(self) -> int:
+        """Number of cache lines spanned by the region."""
+        return (self.size_bytes + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
+
+    def pages(self) -> int:
+        """Number of pages spanned by the region."""
+        return (self.size_bytes + self.page_size - 1) // self.page_size
+
+    def require_live(self) -> None:
+        """Raise if the region was freed (use-after-free in a workload)."""
+        if self.freed:
+            raise HardwareError(
+                f"use after free of region {self.region_id} ({self.label!r})"
+            )
+
+
+class NodeAddressSpace:
+    """Bump allocator handing out line-aligned addresses on one node.
+
+    Node *n*'s addresses live in the range ``[n << 44, (n + 1) << 44)`` so
+    regions on different nodes can never collide and an address's home node
+    is recoverable by shifting.
+    """
+
+    NODE_SHIFT = 44
+
+    def __init__(self, node: int, capacity_bytes: int):
+        self.node = node
+        self.capacity_bytes = capacity_bytes
+        self._next = node << self.NODE_SHIFT
+        self._allocated = 0
+
+    def allocate(
+        self,
+        size_bytes: int,
+        page_size: PageSize = PageSize.SMALL_4K,
+        label: str = "",
+        persistent: bool = False,
+    ) -> MemoryRegion:
+        """Carve a new region out of this node's memory."""
+        if size_bytes <= 0:
+            raise HardwareError(f"allocation size must be positive: {size_bytes}")
+        if self._allocated + size_bytes > self.capacity_bytes:
+            raise HardwareError(
+                f"node {self.node} out of memory: "
+                f"{self._allocated + size_bytes} > {self.capacity_bytes}"
+            )
+        aligned = _round_up(size_bytes, CACHE_LINE_BYTES)
+        base = _round_up(self._next, int(page_size))
+        region = MemoryRegion(
+            node=self.node,
+            size_bytes=size_bytes,
+            base=base,
+            page_size=page_size,
+            label=label,
+            persistent=persistent,
+        )
+        self._next = base + aligned
+        self._allocated += aligned
+        return region
+
+    def free(self, region: MemoryRegion) -> None:
+        """Release a region (bump allocator: space is not reused)."""
+        if region.node != self.node:
+            raise HardwareError(
+                f"region on node {region.node} freed on node {self.node}"
+            )
+        if region.freed:
+            raise HardwareError(f"double free of region {region.region_id}")
+        region.freed = True
+        self._allocated -= _round_up(region.size_bytes, CACHE_LINE_BYTES)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently allocated (live regions)."""
+        return self._allocated
+
+    @staticmethod
+    def node_of_address(address: int) -> int:
+        """Recover the home node of an address."""
+        return address >> NodeAddressSpace.NODE_SHIFT
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return (value + multiple - 1) // multiple * multiple

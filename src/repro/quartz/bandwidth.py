@@ -1,0 +1,80 @@
+"""The bandwidth emulation model (Section 2.1).
+
+NVM bandwidth is emulated entirely in hardware: the kernel module programs
+the thermal-control registers so the memory controller services at the
+target rate.  The register value for a requested bandwidth comes from the
+calibration table (register -> measured bandwidth), inverting the linear
+relationship Figure 8 validates.
+
+In PM mode every node is throttled (all memory *is* NVM); in two-memory
+mode only the virtual-NVM node is throttled, leaving local DRAM at full
+speed (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import QuartzError
+from repro.quartz.calibration import CalibrationData
+from repro.quartz.config import EmulationMode, QuartzConfig
+from repro.quartz.kernel_module import QuartzKernelModule
+
+
+class BandwidthThrottler:
+    """Programs throttle registers to hit a target NVM bandwidth."""
+
+    def __init__(
+        self,
+        kernel_module: QuartzKernelModule,
+        calibration: CalibrationData,
+        config: QuartzConfig,
+        nvm_node: int,
+    ):
+        self.kernel_module = kernel_module
+        self.calibration = calibration
+        self.config = config
+        self.nvm_node = nvm_node
+        self.applied_register: Optional[int] = None
+
+    def apply(self) -> None:
+        """Program the registers for the configured target bandwidth."""
+        target = self.config.nvm_bandwidth_gbps
+        if target is not None:
+            if target > self.calibration.peak_bandwidth:
+                raise QuartzError(
+                    f"target bandwidth {target} GB/s exceeds attainable "
+                    f"{self.calibration.peak_bandwidth:.1f} GB/s"
+                )
+            register = self.calibration.register_for_bandwidth(target)
+            for node in self._throttled_nodes():
+                self.kernel_module.set_throttle_register(node, register)
+            self.applied_register = register
+        read_target = self.config.nvm_read_bandwidth_gbps
+        write_target = self.config.nvm_write_bandwidth_gbps
+        if read_target is not None and write_target is not None:
+            # The asymmetric extension (Section 2.1): separate read/write
+            # registers; raises UnsupportedFeatureError on parts without
+            # them, exactly the paper's footnote-2 situation.
+            read_register = self.calibration.register_for_bandwidth(read_target)
+            write_register = self.calibration.register_for_bandwidth(write_target)
+            for node in self._throttled_nodes():
+                self.kernel_module.set_rw_throttle_registers(
+                    node, read_register, write_register
+                )
+            self.applied_register = self.applied_register or max(
+                read_register, write_register
+            )
+
+    def reset(self) -> None:
+        """Restore full bandwidth on every node we touched."""
+        if self.applied_register is None:
+            return
+        for node in self._throttled_nodes():
+            self.kernel_module.reset_throttle(node)
+        self.applied_register = None
+
+    def _throttled_nodes(self) -> list[int]:
+        if self.config.mode is EmulationMode.TWO_MEMORY:
+            return [self.nvm_node]
+        return list(range(len(self.kernel_module.machine.controllers)))

@@ -1,0 +1,193 @@
+"""Offline calibration: measured latencies and the bandwidth table.
+
+The paper's kernel-module helper *measures* the machine rather than
+trusting datasheets: it estimates the maximum bandwidth for each throttle
+register value by timing streaming accesses ("saves these values for
+later use by the user-mode library", Section 3.1), and the library needs
+measured DRAM and L3 latencies for Eqs. (2)-(4).
+
+We reproduce that honestly: calibration runs short measurement workloads
+on a *private* simulated machine of the same architecture and derives all
+constants from observed timings.  The small systematic errors this
+introduces (residual LLC hits in the latency chase, issue overhead in the
+streaming kernel) flow into the emulator's accuracy exactly as they do on
+metal.
+
+Results are cached per (architecture, seed): calibration is a one-time,
+per-machine step, like the paper's helper program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CalibrationError
+from repro.hw.arch import ArchSpec
+from repro.hw.machine import Machine
+from repro.hw.memory import THROTTLE_REGISTER_MAX
+from repro.hw.topology import PageSize
+from repro.ops import MemBatch, PatternKind
+from repro.os.system import SimOS
+from repro.sim import Simulator
+from repro.units import GIB, MIB
+
+
+@dataclass(frozen=True)
+class CalibrationData:
+    """Measured machine constants consumed by the Quartz library."""
+
+    arch_name: str
+    dram_local_ns: float
+    dram_remote_ns: float
+    l3_ns: float
+    #: (register value, achieved bytes/ns), ascending in register value.
+    bandwidth_table: tuple[tuple[int, float], ...] = field(repr=False)
+
+    @property
+    def w_local(self) -> float:
+        """W ratio (local DRAM / L3 latency) for Eq. (3)."""
+        return self.dram_local_ns / self.l3_ns
+
+    @property
+    def w_remote(self) -> float:
+        """W ratio for remote-DRAM-backed (virtual NVM) accesses."""
+        return self.dram_remote_ns / self.l3_ns
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Highest measured bandwidth (bytes/ns)."""
+        return max(rate for _, rate in self.bandwidth_table)
+
+    def register_for_bandwidth(self, target_bytes_per_ns: float) -> int:
+        """Smallest register value achieving *target* bandwidth.
+
+        Interpolates linearly between measured points (the linearity
+        Figure 8 establishes).  A target above the attainable maximum
+        returns the unthrottled register.
+        """
+        if target_bytes_per_ns <= 0:
+            raise CalibrationError(f"target bandwidth must be positive: {target_bytes_per_ns}")
+        previous_register, previous_rate = None, None
+        for register, rate in self.bandwidth_table:
+            if rate >= target_bytes_per_ns:
+                if previous_register is None or previous_rate is None:
+                    return register
+                span = rate - previous_rate
+                if span <= 0:
+                    return register
+                fraction = (target_bytes_per_ns - previous_rate) / span
+                return min(
+                    THROTTLE_REGISTER_MAX,
+                    int(round(previous_register + fraction * (register - previous_register))),
+                )
+            previous_register, previous_rate = register, rate
+        return THROTTLE_REGISTER_MAX
+
+
+def _run_threads(os: SimOS, bodies: list, cpu_node: int = 0) -> float:
+    """Run bodies to completion; returns elapsed simulated ns."""
+    start = os.sim.now
+    for index, body in enumerate(bodies):
+        os.create_thread(body, name=f"calibrate{index}", cpu_node=cpu_node)
+    os.run_to_completion()
+    return os.sim.now - start
+
+
+def _measure_chase_latency(
+    arch: ArchSpec, node: int, footprint_bytes: int, accesses: int, seed: int
+) -> float:
+    """Pointer-chase latency measurement (the MemLat idea, Section 4.4)."""
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch, latency_jitter=True)
+    os = SimOS(machine)
+    durations: dict[str, float] = {}
+
+    def body(ctx):
+        region = ctx.malloc(
+            footprint_bytes, page_size=PageSize.HUGE_2M, label="calibration-chase"
+        )
+        start = ctx.now_ns
+        yield MemBatch(region, accesses, PatternKind.CHASE)
+        durations["elapsed"] = ctx.now_ns - start
+
+    os.create_thread(body, cpu_node=0, mem_node=node)
+    os.run_to_completion()
+    return durations["elapsed"] / accesses
+
+
+def _measure_bandwidth(arch: ArchSpec, register: int, seed: int) -> float:
+    """Saturating streaming-store bandwidth at one register setting.
+
+    Forks several threads, each streaming through part of a region with
+    non-temporal stores — the paper's SSE-streaming helper (Section 3.1).
+    """
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch)
+    machine.controller(0).program_throttle_register(register, privileged=True)
+    os = SimOS(machine)
+    stream_threads = 4
+    bytes_per_thread = 64 * MIB
+    lines = bytes_per_thread // 64
+
+    def body(ctx):
+        region = ctx.malloc(bytes_per_thread, label="calibration-stream")
+        yield MemBatch(
+            region,
+            accesses=lines * 8,
+            pattern=PatternKind.SEQUENTIAL,
+            stride_bytes=8,
+            is_store=True,
+            non_temporal=True,
+        )
+
+    elapsed = _run_threads(os, [body] * stream_threads)
+    if elapsed <= 0:
+        raise CalibrationError("streaming measurement produced zero duration")
+    return stream_threads * bytes_per_thread / elapsed
+
+
+_CACHE: dict[tuple[str, int], CalibrationData] = {}
+
+
+def calibrate_arch(
+    arch: ArchSpec,
+    seed: int = 0,
+    bandwidth_points: int = 9,
+    use_cache: bool = True,
+) -> CalibrationData:
+    """Measure one architecture's constants (cached per seed)."""
+    key = (arch.name, seed)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    dram_local = _measure_chase_latency(
+        arch, node=0, footprint_bytes=4 * GIB, accesses=20_000, seed=seed
+    )
+    dram_remote = _measure_chase_latency(
+        arch, node=1, footprint_bytes=4 * GIB, accesses=20_000, seed=seed + 1
+    )
+    # L3 latency: a chase footprint far beyond L2 but well inside LLC.
+    l3 = _measure_chase_latency(
+        arch, node=0, footprint_bytes=8 * MIB, accesses=20_000, seed=seed + 2
+    )
+    if not dram_local < dram_remote:
+        raise CalibrationError(
+            f"calibration nonsense: local {dram_local} >= remote {dram_remote}"
+        )
+    registers = [
+        round(index * THROTTLE_REGISTER_MAX / (bandwidth_points - 1))
+        for index in range(bandwidth_points)
+    ]
+    table = tuple(
+        (register, _measure_bandwidth(arch, register, seed=seed + 10 + register))
+        for register in registers
+    )
+    data = CalibrationData(
+        arch_name=arch.name,
+        dram_local_ns=dram_local,
+        dram_remote_ns=dram_remote,
+        l3_ns=l3,
+        bandwidth_table=table,
+    )
+    if use_cache:
+        _CACHE[key] = data
+    return data

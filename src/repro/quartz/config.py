@@ -1,0 +1,162 @@
+"""Quartz configuration knobs.
+
+Everything tunable about the emulator lives here, mirroring the paper's
+configuration surface: target NVM latency and bandwidth, epoch sizes
+(max for the monitor, min for the sync-triggered closes of Section 2.3),
+the monitor wake interval, the counter-access backend (Section 3.2), the
+"switched-off delay injection" diagnostic mode, and the write-emulation
+model (pflush of Section 3.1 vs. the pcommit extension of Section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import QuartzError
+from repro.units import MILLISECOND
+
+
+class EmulationMode(enum.Enum):
+    """What kind of memory system Quartz emulates."""
+
+    #: All application memory is NVM (Sections 2-3.2).
+    PM = "pm"
+    #: Two memory types: local DRAM (fast) + virtual NVM on the sibling
+    #: socket (Section 3.3).
+    TWO_MEMORY = "two-memory"
+
+
+class WriteModel(enum.Enum):
+    """How persistent writes are emulated."""
+
+    #: pflush: stall-wait per cache line (pessimistic, Section 3.1).
+    PFLUSH = "pflush"
+    #: clflushopt + pcommit: delays accumulate and are injected at the
+    #: barrier, allowing independent writes to overlap (Section 6).
+    PCOMMIT = "pcommit"
+
+
+#: Library initialisation cost (Section 3.2): ~5.5 billion cycles.
+INIT_COST_CYCLES = 5_500_000_000
+#: Per-thread registration cost (Section 3.2): ~300,000 cycles.
+THREAD_REGISTRATION_COST_CYCLES = 300_000
+#: Epoch-processing cost excluding counter reads (Section 3.2 puts the
+#: all-in rdpmc figure at ~4000 cycles, about half of which is counter
+#: reading).
+EPOCH_BASE_COST_CYCLES = 2_000
+
+
+@dataclass
+class QuartzConfig:
+    """Full configuration of one Quartz attachment."""
+
+    #: Target average NVM read latency (ns).  Must be >= the latency of
+    #: the DRAM standing in for NVM.
+    nvm_read_latency_ns: float = 400.0
+    #: Target NVM bandwidth in bytes/ns (GB/s); None = unthrottled.
+    nvm_bandwidth_gbps: Optional[float] = None
+    #: Separate read/write bandwidth targets (GB/s) for asymmetric NVM —
+    #: generally read bandwidth exceeds write bandwidth (Section 2.1).
+    #: Requires hardware with the separate registers wired up; the
+    #: paper's testbeds lacked them (footnote 2).
+    nvm_read_bandwidth_gbps: Optional[float] = None
+    nvm_write_bandwidth_gbps: Optional[float] = None
+    #: Target NVM write latency for pflush (ns); None = no write delay.
+    nvm_write_latency_ns: Optional[float] = None
+    #: Emulation mode: PM everywhere, or DRAM + virtual NVM.
+    mode: EmulationMode = EmulationMode.PM
+    #: Write emulation model.
+    write_model: WriteModel = WriteModel.PFLUSH
+    #: Maximum (static) epoch length; the monitor interrupts threads whose
+    #: epoch exceeds this (paper default 10 ms, Section 4.4 footnote 4).
+    max_epoch_ns: float = 10.0 * MILLISECOND
+    #: Minimum epoch length gating sync-triggered closes (Section 2.3).
+    min_epoch_ns: float = 0.1 * MILLISECOND
+    #: Monitor wake interval; None = max_epoch / 10.
+    monitor_interval_ns: Optional[float] = None
+    #: Counter access backend: "rdpmc" (direct) or "papi" (trapping).
+    counter_backend: str = "rdpmc"
+    #: Delay model: "stalls" (Eq. 2/3, MLP-aware) or "simple" (Eq. 1,
+    #: every LLC miss counted as serialized — the strawman of Figure 2).
+    latency_model: str = "stalls"
+    #: False = "switched-off delay injection" overhead-measurement mode.
+    injection_enabled: bool = True
+    #: Charge the ~5.5e9-cycle library initialisation to the main thread.
+    include_init_cost: bool = False
+    #: Charge the ~300k-cycle per-thread registration cost.
+    include_registration_cost: bool = True
+    #: Signal number used by the monitor to interrupt threads.
+    epoch_signal: int = 44
+    #: Socket the monitor thread is pinned to.
+    monitor_socket: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`QuartzError` on inconsistent settings."""
+        if self.nvm_read_latency_ns <= 0:
+            raise QuartzError(
+                f"NVM read latency must be positive: {self.nvm_read_latency_ns}"
+            )
+        if self.nvm_bandwidth_gbps is not None and self.nvm_bandwidth_gbps <= 0:
+            raise QuartzError(
+                f"NVM bandwidth must be positive: {self.nvm_bandwidth_gbps}"
+            )
+        for name in ("nvm_read_bandwidth_gbps", "nvm_write_bandwidth_gbps"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise QuartzError(f"{name} must be positive: {value}")
+        asymmetric = (
+            self.nvm_read_bandwidth_gbps is not None
+            or self.nvm_write_bandwidth_gbps is not None
+        )
+        if asymmetric and (
+            self.nvm_read_bandwidth_gbps is None
+            or self.nvm_write_bandwidth_gbps is None
+        ):
+            raise QuartzError(
+                "asymmetric throttling needs both read and write targets"
+            )
+        if self.nvm_write_latency_ns is not None and self.nvm_write_latency_ns < 0:
+            raise QuartzError(
+                f"NVM write latency must be non-negative: {self.nvm_write_latency_ns}"
+            )
+        if self.max_epoch_ns <= 0:
+            raise QuartzError(f"max epoch must be positive: {self.max_epoch_ns}")
+        if self.min_epoch_ns < 0:
+            raise QuartzError(f"min epoch must be non-negative: {self.min_epoch_ns}")
+        if self.min_epoch_ns > self.max_epoch_ns:
+            raise QuartzError(
+                f"min epoch {self.min_epoch_ns} exceeds max epoch {self.max_epoch_ns}"
+            )
+        if self.monitor_interval_ns is not None and self.monitor_interval_ns <= 0:
+            raise QuartzError(
+                f"monitor interval must be positive: {self.monitor_interval_ns}"
+            )
+        if self.counter_backend not in ("rdpmc", "papi"):
+            raise QuartzError(
+                f"unknown counter backend: {self.counter_backend!r} "
+                "(expected 'rdpmc' or 'papi')"
+            )
+        if self.latency_model not in ("stalls", "simple"):
+            raise QuartzError(
+                f"unknown latency model: {self.latency_model!r} "
+                "(expected 'stalls' or 'simple')"
+            )
+        if self.latency_model == "simple" and self.mode is EmulationMode.TWO_MEMORY:
+            raise QuartzError(
+                "the Eq. 1 simple model has no local/remote split; "
+                "two-memory mode requires the stall model"
+            )
+        if not 1 <= self.epoch_signal <= 64:
+            raise QuartzError(f"bad signal number: {self.epoch_signal}")
+
+    @property
+    def effective_monitor_interval_ns(self) -> float:
+        """The monitor wake period actually used."""
+        if self.monitor_interval_ns is not None:
+            return self.monitor_interval_ns
+        return self.max_epoch_ns / 10.0

@@ -1,0 +1,276 @@
+"""The Quartz user-mode library (Section 3.1, Figure 5).
+
+Attaching to a process (the ``LD_PRELOAD`` moment) performs the library
+initialisation:
+
+1. load the kernel module, program the Table 1 counters, enable rdpmc;
+2. throttle DRAM bandwidth to the target NVM bandwidth;
+3. interpose on ``pthread_create`` (thread registration),
+   ``pthread_mutex_unlock`` / ``pthread_cond_notify`` (sync-triggered
+   epoch closes), ``pmalloc``/``pfree``/``pflush``/``pcommit`` (the PM
+   API);
+4. install the epoch signal handler;
+5. fork the monitor thread, which periodically interrupts any
+   application thread whose epoch exceeds the maximum size.
+
+Everything the emulator learns about the application it learns through
+the same channels the real library had: performance counters, the TSC,
+and the interposed calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import QuartzError
+from repro.ops import Compute, Sleep, Spin
+from repro.os.interpose import ORIGINAL
+from repro.os.system import SimOS
+from repro.os.thread import Signal, SimThread
+from repro.quartz.bandwidth import BandwidthThrottler
+from repro.quartz.calibration import CalibrationData, calibrate_arch
+from repro.quartz.config import (
+    EmulationMode,
+    INIT_COST_CYCLES,
+    QuartzConfig,
+    THREAD_REGISTRATION_COST_CYCLES,
+    WriteModel,
+)
+from repro.quartz.counters import backend_by_name
+from repro.quartz.epoch import EpochEngine
+from repro.quartz.kernel_module import QuartzKernelModule
+from repro.quartz.pm import PmWriteEmulator
+from repro.quartz.stats import EpochTrigger, QuartzStats
+from repro.quartz.virtual_topology import VirtualTopology
+
+if TYPE_CHECKING:
+    from repro.os.thread import ThreadContext
+
+
+class Quartz:
+    """One attachment of the emulator to a simulated process."""
+
+    def __init__(
+        self,
+        os: SimOS,
+        config: QuartzConfig,
+        calibration: Optional[CalibrationData] = None,
+    ):
+        self.os = os
+        self.machine = os.machine
+        self.config = config
+        self.calibration = calibration
+        self.kernel_module = QuartzKernelModule(self.machine)
+        self.stats = QuartzStats()
+        self.virtual_topology: Optional[VirtualTopology] = None
+        self.write_emulator: Optional[PmWriteEmulator] = None
+        self._engine: Optional[EpochEngine] = None
+        self._throttler: Optional[BandwidthThrottler] = None
+        self._registered: dict[int, SimThread] = {}
+        self._monitor_thread: Optional[SimThread] = None
+        self._attached = False
+        self._init_cost_charged = False
+
+    # ------------------------------------------------------------------
+    # Attach / detach
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Initialise the library (must precede application threads)."""
+        if self._attached:
+            raise QuartzError("Quartz already attached")
+        config = self.config
+        if self.calibration is None:
+            self.calibration = calibrate_arch(self.machine.arch)
+        if self.calibration.arch_name != self.machine.arch.name:
+            raise QuartzError(
+                f"calibration is for {self.calibration.arch_name}, "
+                f"machine is {self.machine.arch.name}"
+            )
+        backing_latency = (
+            self.calibration.dram_remote_ns
+            if config.mode is EmulationMode.TWO_MEMORY
+            else self.calibration.dram_local_ns
+        )
+        if config.nvm_read_latency_ns < backing_latency:
+            raise QuartzError(
+                f"target NVM latency {config.nvm_read_latency_ns} ns is "
+                f"below the backing DRAM latency {backing_latency:.0f} ns; "
+                "DRAM can only be slowed down"
+            )
+
+        self.kernel_module.load()
+        self.kernel_module.setup_counters()
+
+        nvm_node = 0
+        if config.mode is EmulationMode.TWO_MEMORY:
+            self.virtual_topology = VirtualTopology(self.machine)
+            self.os.default_cpu_node = self.virtual_topology.compute_sockets[0]
+            nvm_node = self.virtual_topology.nvm_node_for(
+                self.virtual_topology.compute_sockets[0]
+            )
+            self.os.interpose.register_sync_hook(
+                "pmalloc", self.virtual_topology.pmalloc_hook
+            )
+            self.os.interpose.register_sync_hook(
+                "pfree", self.virtual_topology.pfree_hook
+            )
+        self._throttler = BandwidthThrottler(
+            self.kernel_module, self.calibration, config, nvm_node
+        )
+        self._throttler.apply()
+
+        backend = backend_by_name(config.counter_backend)
+        self._engine = EpochEngine(
+            self.machine, config, self.calibration, backend, self.stats
+        )
+
+        if config.nvm_write_latency_ns is not None:
+            self.write_emulator = PmWriteEmulator(
+                self.machine, config, self.calibration
+            )
+            self.os.interpose.register_op_hook(
+                "pflush", self.write_emulator.pflush_hook
+            )
+            if config.write_model is WriteModel.PCOMMIT:
+                self.os.interpose.register_op_hook(
+                    "pcommit", self.write_emulator.pcommit_hook
+                )
+
+        self.os.interpose.register_op_hook("thread_begin", self._thread_begin_hook)
+        self.os.interpose.register_op_hook("thread_end", self._thread_end_hook)
+        # Section 2.3: epochs close when a thread *enters and/or exits* a
+        # critical section, so delay accumulated outside the lock is
+        # injected before acquiring (where it overlaps other threads) and
+        # delay from inside is injected before releasing (where it
+        # propagates to waiters, Figure 4b).
+        self.os.interpose.register_op_hook(
+            "pthread_mutex_lock", self._make_sync_hook("acquire")
+        )
+        self.os.interpose.register_op_hook(
+            "pthread_mutex_unlock", self._make_sync_hook("release")
+        )
+        self.os.interpose.register_op_hook(
+            "pthread_cond_notify", self._make_sync_hook("notify")
+        )
+        self.os.interpose.register_op_hook(
+            "barrier_wait", self._make_sync_hook("notify")
+        )
+        self.os.signal_handlers[config.epoch_signal] = self._signal_handler
+
+        self._attached = True
+        self._monitor_thread = self.os.create_thread(
+            self._monitor_body,
+            name="quartz-monitor",
+            cpu_node=config.monitor_socket,
+            daemon=True,
+        )
+
+    def detach(self) -> None:
+        """Unload: drop hooks, restore registers, stop the monitor."""
+        if not self._attached:
+            raise QuartzError("Quartz is not attached")
+        self._attached = False
+        self.os.interpose.unregister_all()
+        self.os.signal_handlers.pop(self.config.epoch_signal, None)
+        if self._throttler is not None:
+            self._throttler.reset()
+        self.kernel_module.unload()
+
+    @property
+    def attached(self) -> bool:
+        """True while the library is active."""
+        return self._attached
+
+    @property
+    def registered_thread_count(self) -> int:
+        """Application threads currently under emulation."""
+        return len(self._registered)
+
+    # ------------------------------------------------------------------
+    # Interposition hooks (generators of ops)
+    # ------------------------------------------------------------------
+    def _thread_begin_hook(self, os: SimOS, thread: SimThread, op):
+        if thread.daemon:
+            return  # library/monitor threads are not emulated
+        assert self._engine is not None
+        if not self._init_cost_charged:
+            self._init_cost_charged = True
+            if self.config.include_init_cost:
+                self.stats.init_cost_cycles = INIT_COST_CYCLES
+                yield Compute(INIT_COST_CYCLES, label="quartz-library-init")
+        if self.config.include_registration_cost:
+            yield Compute(
+                THREAD_REGISTRATION_COST_CYCLES, label="quartz-thread-registration"
+            )
+        read_cost = self._engine.open_initial(thread)
+        self._registered[thread.tid] = thread
+        yield Compute(read_cost, label="quartz-initial-counter-read")
+
+    def _thread_end_hook(self, os: SimOS, thread: SimThread, op):
+        if thread.tid not in self._registered:
+            return
+        assert self._engine is not None
+        yield from self._engine.close_and_reopen(thread, EpochTrigger.EXIT)
+        del self._registered[thread.tid]
+
+    def _make_sync_hook(self, kind: str):
+        """Build the interposer for one sync symbol.
+
+        This is the Figure 4(b) mechanism: at a release, the delay
+        accumulated inside the critical section spins *before* the unlock
+        so it propagates to every waiter, while delay from outside the
+        section spins after it; an acquire mirrors the split.  The
+        minimum epoch size gates the close (Section 2.3), in which case
+        only cheap timestamp bookkeeping runs.
+        """
+
+        def hook(os: SimOS, thread: SimThread, op):
+            engine = self._engine
+            assert engine is not None
+            emulated = (
+                thread.tid in self._registered
+                and thread.library_state is not None
+            )
+            plan = None
+            if emulated:
+                yield Compute(
+                    engine.boundary_cost_cycles, label="quartz-sync-boundary"
+                )
+                plan = engine.sync_boundary(thread, kind)
+            if plan is not None:
+                yield Compute(plan.cost_cycles, label="quartz-epoch-processing")
+                if plan.pre_spin_ns > 0:
+                    yield Spin(plan.pre_spin_ns, label="quartz-delay-pre")
+            result = yield ORIGINAL
+            if emulated:
+                engine.finish_boundary(thread, kind)
+            if plan is not None:
+                if plan.post_spin_ns > 0:
+                    yield Spin(plan.post_spin_ns, label="quartz-delay-post")
+                engine.mark_epoch_start(thread)
+            return result
+
+        return hook
+
+    def _signal_handler(self, thread: SimThread, signal: Signal):
+        if thread.tid in self._registered and thread.library_state is not None:
+            assert self._engine is not None
+            yield from self._engine.close_and_reopen(thread, EpochTrigger.MONITOR)
+
+    # ------------------------------------------------------------------
+    # The monitor thread (Figure 5)
+    # ------------------------------------------------------------------
+    def _monitor_body(self, ctx: "ThreadContext"):
+        interval = self.config.effective_monitor_interval_ns
+        while self._attached:
+            yield Sleep(interval)
+            self.stats.monitor_wakeups += 1
+            assert self._engine is not None
+            for thread in list(self._registered.values()):
+                if thread.finished or thread.library_state is None:
+                    continue
+                if self._engine.epoch_elapsed_ns(thread) > self.config.max_epoch_ns:
+                    if self.os.post_signal(
+                        thread, Signal(self.config.epoch_signal)
+                    ):
+                        self.stats.signals_posted += 1

@@ -1,0 +1,357 @@
+"""Per-thread epoch state and the close/reopen machinery (Sections 2.2-3.2).
+
+An *epoch* is the interval between two delay injections.  Closing one:
+
+1. reads the Table 1 counters through the configured backend (cost in
+   cycles depends on rdpmc vs. PAPI, Section 3.2);
+2. derives the memory-bound stall time via Eq. (3) — split local/remote
+   with Eq. (4) in two-memory mode;
+3. converts stalls to the required delay via Eq. (2);
+4. amortises accumulated epoch-processing overhead by shaving it off the
+   delay (carrying any excess to future epochs, Section 3.2);
+5. spins for the remaining delay (unless injection is switched off) and
+   starts the next epoch.
+
+**Critical-section attribution.**  Section 2.3 requires delay accumulated
+*inside* a critical section to be injected before the lock is released
+(Figure 4b) so it propagates to waiters — while delay accumulated
+*outside* must not be, or work that physically overlaps other threads'
+critical sections would be serialised under the lock, inflating completion
+time (~50% on the with-compute Multi-Threaded case).  The engine therefore
+keeps cheap ``rdtscp`` timestamps at the interposed ``pthread_mutex_lock``
+and ``pthread_mutex_unlock`` boundaries, accumulating in-CS and out-of-CS
+wall time per epoch (blocked time excluded — it accrues no stalls), and
+every sync-triggered close splits its delay proportionally: the CS share
+spins while the lock is held, the outside share while it is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import QuartzError
+from repro.hw.machine import Machine
+from repro.ops import Compute, Spin
+from repro.quartz.calibration import CalibrationData
+from repro.quartz.config import EPOCH_BASE_COST_CYCLES, EmulationMode, QuartzConfig
+from repro.quartz.counters import CounterBackend
+from repro.quartz.model import (
+    eq1_simple_delay,
+    eq2_delay_from_stalls,
+    eq3_ldm_stall,
+    eq4_remote_stall_split,
+)
+from repro.quartz.stats import EpochTrigger, QuartzStats, ThreadQuartzStats
+
+if TYPE_CHECKING:
+    from repro.os.thread import SimThread
+
+#: Cycles for the timestamp bookkeeping at a sync boundary (two rdtscp
+#: plus arithmetic) — far cheaper than a full epoch close, which is what
+#: lets the minimum epoch size keep its purpose.
+BOUNDARY_COST_CYCLES = 60.0
+
+
+@dataclass
+class ThreadEpochState:
+    """The Quartz library's per-thread bookkeeping."""
+
+    start_ns: float
+    counter_base: dict[str, float]
+    overhead_pool_ns: float = 0.0
+    #: Running wall time spent inside / outside critical sections during
+    #: the current epoch (blocked time excluded).
+    cs_wall_ns: float = 0.0
+    out_wall_ns: float = 0.0
+    #: Timestamp of the last attribution boundary.
+    last_boundary_ns: float = 0.0
+    #: Critical-section nesting depth.
+    cs_depth: int = 0
+
+
+@dataclass
+class SyncClosePlan:
+    """Everything a sync-point hook must execute for one epoch close."""
+
+    cost_cycles: float
+    #: Spin before the interposed call (pre-release at unlock, outside the
+    #: lock at acquire).
+    pre_spin_ns: float
+    #: Spin after the interposed call (outside the lock at unlock, inside
+    #: at acquire).
+    post_spin_ns: float
+
+
+class EpochEngine:
+    """Implements epoch close/reopen against one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: QuartzConfig,
+        calibration: CalibrationData,
+        backend: CounterBackend,
+        stats: QuartzStats,
+    ):
+        self.machine = machine
+        self.config = config
+        self.calibration = calibration
+        self.backend = backend
+        self.stats = stats
+        self._events = machine.arch.counter_events
+        self._freq_ghz = machine.arch.freq_ghz  # nominal (DVFS assumed off)
+        if config.mode is EmulationMode.TWO_MEMORY:
+            machine.arch.require_local_remote_counters()
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+    def open_initial(self, thread: "SimThread") -> float:
+        """Start a thread's first epoch; returns the read cost in cycles."""
+        pmc = self.machine.pmc(thread.core.core_id)
+        values, cost_cycles = self.backend.read_all(pmc, self._events)
+        now = self.machine.sim.now
+        thread.library_state = ThreadEpochState(
+            start_ns=now, counter_base=values, last_boundary_ns=now
+        )
+        self.stats.per_thread[thread.tid] = ThreadQuartzStats(
+            tid=thread.tid,
+            name=thread.name,
+            registered_at_ns=now,
+        )
+        self.stats.threads_registered += 1
+        return cost_cycles
+
+    def epoch_elapsed_ns(self, thread: "SimThread") -> float:
+        """Age of the thread's current epoch (monitor's wake-up check)."""
+        state = self._state_of(thread)
+        return self.machine.sim.now - state.start_ns
+
+    # ------------------------------------------------------------------
+    # Monitor / exit closes: inject everything in place
+    # ------------------------------------------------------------------
+    def close_and_reopen(self, thread: "SimThread", trigger: EpochTrigger):
+        """Close the thread's epoch, inject delay in place, reopen."""
+        state = self._state_of(thread)
+        self._accrue_segment(state)
+        delay_ns, cost_cycles = self._close_measure(thread, state, trigger)
+        injected_ns = self._amortize(thread, state, delay_ns)
+        yield Compute(cost_cycles, label="quartz-epoch-processing")
+        if self.config.injection_enabled and injected_ns > 0.0:
+            self.stats.thread(thread.tid).delay_injected_ns += injected_ns
+            yield Spin(injected_ns, label="quartz-delay")
+        if trigger is EpochTrigger.EXIT:
+            thread_stats = self.stats.thread(thread.tid)
+            thread_stats.overhead_residual_ns = state.overhead_pool_ns
+            thread.library_state = None
+        else:
+            self._reopen(state)
+
+    # ------------------------------------------------------------------
+    # Sync-point boundaries (lock/unlock, notify)
+    # ------------------------------------------------------------------
+    def sync_boundary(
+        self, thread: "SimThread", kind: str
+    ) -> Optional[SyncClosePlan]:
+        """Handle the attribution boundary at a sync call; maybe close.
+
+        ``kind`` is ``"acquire"``, ``"release"``, or ``"notify"``.  Called
+        by the interposition hook *before* the real call.  Returns the
+        close plan (spins to run around the call) or None when the
+        minimum epoch size gates the close (Section 2.3) — in which case
+        only the cheap timestamp bookkeeping happened.
+        """
+        state = self._state_of(thread)
+        self._accrue_segment(state)
+        thread_stats = self.stats.thread(thread.tid)
+        if self.epoch_elapsed_ns(thread) < self.config.min_epoch_ns:
+            thread_stats.closes_skipped_min_epoch += 1
+            return None
+        delay_ns, cost_cycles = self._close_measure(
+            thread, state, EpochTrigger.SYNC
+        )
+        injected_ns = self._amortize(thread, state, delay_ns)
+        if not self.config.injection_enabled:
+            injected_ns = 0.0
+        else:
+            thread_stats.delay_injected_ns += injected_ns
+        cs_share, out_share = self._split_delay(state, injected_ns)
+        state.cs_wall_ns = 0.0
+        state.out_wall_ns = 0.0
+        if kind == "release":
+            # CS delay propagates to waiters; outside delay after release.
+            return SyncClosePlan(cost_cycles, pre_spin_ns=cs_share,
+                                 post_spin_ns=out_share)
+        if kind == "acquire":
+            # Outside delay before acquiring (overlaps other threads);
+            # residual CS delay from earlier sections inside the lock.
+            return SyncClosePlan(cost_cycles, pre_spin_ns=out_share,
+                                 post_spin_ns=cs_share)
+        # notify: everything must precede the communication event.
+        return SyncClosePlan(cost_cycles, pre_spin_ns=cs_share + out_share,
+                             post_spin_ns=0.0)
+
+    def finish_boundary(self, thread: "SimThread", kind: str) -> None:
+        """Record the post-call boundary timestamp (excludes blocked time)
+        and update the critical-section depth."""
+        state = thread.library_state
+        if not isinstance(state, ThreadEpochState):
+            return
+        state.last_boundary_ns = self.machine.sim.now
+        if kind == "acquire":
+            state.cs_depth += 1
+        elif kind == "release":
+            state.cs_depth = max(0, state.cs_depth - 1)
+
+    def mark_epoch_start(self, thread: "SimThread") -> None:
+        """Start the next epoch's clock (after any injected spins)."""
+        state = thread.library_state
+        if not isinstance(state, ThreadEpochState):
+            return
+        state.start_ns = self.machine.sim.now
+        state.last_boundary_ns = self.machine.sim.now
+
+    @property
+    def boundary_cost_cycles(self) -> float:
+        """Cycles charged for the timestamp bookkeeping at a boundary."""
+        return BOUNDARY_COST_CYCLES
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _accrue_segment(self, state: ThreadEpochState) -> None:
+        elapsed = self.machine.sim.now - state.last_boundary_ns
+        if elapsed <= 0:
+            return
+        if state.cs_depth > 0:
+            state.cs_wall_ns += elapsed
+        else:
+            state.out_wall_ns += elapsed
+        state.last_boundary_ns = self.machine.sim.now
+
+    @staticmethod
+    def _split_delay(
+        state: ThreadEpochState, delay_ns: float
+    ) -> tuple[float, float]:
+        """Apportion a delay between in-CS and out-of-CS shares."""
+        total_wall = state.cs_wall_ns + state.out_wall_ns
+        if total_wall <= 0.0:
+            return delay_ns, 0.0
+        cs_share = delay_ns * state.cs_wall_ns / total_wall
+        # Guard float rounding: the remainder must never go (even one ulp)
+        # negative, or it would construct a negative spin.
+        return cs_share, max(0.0, delay_ns - cs_share)
+
+    def _close_measure(
+        self, thread: "SimThread", state: ThreadEpochState, trigger: EpochTrigger
+    ) -> tuple[float, float]:
+        """Read counters, compute the epoch's delay, update stats."""
+        pmc = self.machine.pmc(thread.core.core_id)
+        values, read_cost_cycles = self.backend.read_all(pmc, self._events)
+        deltas = {
+            name: values[name] - state.counter_base[name] for name in values
+        }
+        state.counter_base = values
+        delay_ns = self._delay_from_deltas(deltas)
+        cost_cycles = read_cost_cycles + EPOCH_BASE_COST_CYCLES
+        thread_stats = self.stats.thread(thread.tid)
+        thread_stats.delay_computed_ns += delay_ns
+        if trigger is EpochTrigger.MONITOR:
+            thread_stats.epochs_monitor += 1
+        elif trigger is EpochTrigger.SYNC:
+            thread_stats.epochs_sync += 1
+        else:
+            thread_stats.epochs_exit += 1
+        return delay_ns, cost_cycles
+
+    def _amortize(
+        self, thread: "SimThread", state: ThreadEpochState, delay_ns: float
+    ) -> float:
+        """Section 3.2 overhead amortisation; returns the delay to inject."""
+        overhead_ns = (
+            EPOCH_BASE_COST_CYCLES
+            + self.backend.fixed_cost_cycles
+            + self.backend.cost_per_event_cycles * len(self._events.all_events())
+        ) / self._freq_ghz
+        state.overhead_pool_ns += overhead_ns
+        injected_ns = max(0.0, delay_ns - state.overhead_pool_ns)
+        amortized_ns = delay_ns - injected_ns
+        state.overhead_pool_ns -= amortized_ns
+        thread_stats = self.stats.thread(thread.tid)
+        thread_stats.overhead_ns += overhead_ns
+        thread_stats.overhead_amortized_ns += amortized_ns
+        return injected_ns
+
+    def _reopen(self, state: ThreadEpochState) -> None:
+        state.start_ns = self.machine.sim.now
+        state.last_boundary_ns = self.machine.sim.now
+        state.cs_wall_ns = 0.0
+        state.out_wall_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # The model
+    # ------------------------------------------------------------------
+    def _delay_from_deltas(self, deltas: dict[str, float]) -> float:
+        """Counter deltas for one epoch -> required delay (ns)."""
+        events = self._events
+        stall_cycles = deltas[events.l2_stalls]
+        hits = deltas[events.l3_hit]
+        if self.config.latency_model == "simple":
+            # Eq. (1): every LLC miss treated as serialized — ignores MLP
+            # (the Figure 2 strawman, kept for the model ablation).
+            return eq1_simple_delay(
+                self._total_misses(deltas),
+                self.config.nvm_read_latency_ns,
+                self.calibration.dram_local_ns,
+            )
+        if self.config.mode is EmulationMode.PM:
+            misses = self._total_misses(deltas)
+            ldm_stall_cycles = eq3_ldm_stall(
+                stall_cycles, hits, misses, self.calibration.w_local
+            )
+            ldm_stall_ns = ldm_stall_cycles / self._freq_ghz
+            return eq2_delay_from_stalls(
+                ldm_stall_ns,
+                self.config.nvm_read_latency_ns,
+                self.calibration.dram_local_ns,
+            )
+        # Two-memory mode (Section 3.3): apportion stalls, slow only the
+        # remote (virtual NVM) share.
+        local_misses = deltas[events.l3_miss_local]
+        remote_misses = deltas[events.l3_miss_remote]
+        misses = local_misses + remote_misses
+        if misses <= 0:
+            return 0.0
+        w_effective = (
+            local_misses * self.calibration.w_local
+            + remote_misses * self.calibration.w_remote
+        ) / misses
+        ldm_stall_cycles = eq3_ldm_stall(stall_cycles, hits, misses, w_effective)
+        ldm_stall_ns = ldm_stall_cycles / self._freq_ghz
+        remote_stall_ns = eq4_remote_stall_split(
+            ldm_stall_ns,
+            local_misses,
+            remote_misses,
+            self.calibration.dram_local_ns,
+            self.calibration.dram_remote_ns,
+        )
+        return eq2_delay_from_stalls(
+            remote_stall_ns,
+            self.config.nvm_read_latency_ns,
+            self.calibration.dram_remote_ns,
+        )
+
+    def _total_misses(self, deltas: dict[str, float]) -> float:
+        events = self._events
+        if events.l3_miss_combined is not None:
+            return deltas[events.l3_miss_combined]
+        return deltas[events.l3_miss_local] + deltas[events.l3_miss_remote]
+
+    def _state_of(self, thread: "SimThread") -> ThreadEpochState:
+        state = thread.library_state
+        if not isinstance(state, ThreadEpochState):
+            raise QuartzError(
+                f"thread {thread.name!r} has no open epoch (not registered?)"
+            )
+        return state

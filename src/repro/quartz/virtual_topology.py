@@ -1,0 +1,79 @@
+"""The Virtual Topology of the two-memory mode (Section 3.3, Figure 7).
+
+The emulator partitions sockets into *sibling sets* of two.  Application
+threads run on the first socket of each set and use its local DRAM via
+plain ``malloc``; the sibling socket's DRAM becomes *virtual NVM*, reached
+through ``pmalloc`` (implemented with ``numa_alloc_onnode``).  The sibling
+socket's cores do no computation — the price paid for being able to split
+LLC misses into local vs. remote via hardware counters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import QuartzError
+from repro.hw.machine import Machine
+from repro.hw.topology import MemoryRegion, PageSize
+
+if TYPE_CHECKING:
+    from repro.os.thread import SimThread
+
+
+class VirtualTopology:
+    """Sibling-set socket partitioning with a virtual-NVM allocator."""
+
+    def __init__(self, machine: Machine):
+        sockets = machine.arch.sockets
+        if sockets < 2 or sockets % 2 != 0:
+            raise QuartzError(
+                f"two-memory emulation needs an even number of sockets "
+                f"(>= 2), got {sockets}"
+            )
+        machine.arch.require_local_remote_counters()
+        self.machine = machine
+        #: (compute socket, virtual-NVM socket) pairs.
+        self.sibling_sets = tuple(
+            (socket, socket + 1) for socket in range(0, sockets, 2)
+        )
+        self.pmalloc_count = 0
+
+    @property
+    def compute_sockets(self) -> tuple[int, ...]:
+        """Sockets application threads may run on."""
+        return tuple(pair[0] for pair in self.sibling_sets)
+
+    def nvm_node_for(self, socket: int) -> int:
+        """The virtual-NVM node of *socket*'s sibling set."""
+        for compute, nvm in self.sibling_sets:
+            if socket == compute:
+                return nvm
+        raise QuartzError(
+            f"socket {socket} is a virtual-NVM socket; application threads "
+            f"must run on one of {self.compute_sockets}"
+        )
+
+    # -- pmalloc/pfree sync hooks -------------------------------------------
+    def pmalloc_hook(
+        self,
+        thread: "SimThread",
+        size_bytes: int,
+        page_size: PageSize,
+        label: str,
+    ) -> MemoryRegion:
+        """Allocate virtual NVM on the caller's sibling socket."""
+        node = self.nvm_node_for(thread.core.socket)
+        self.pmalloc_count += 1
+        return self.machine.allocate(
+            size_bytes,
+            node=node,
+            page_size=page_size,
+            label=label or "virtual-nvm",
+            persistent=True,
+        )
+
+    def pfree_hook(self, thread: "SimThread", region: MemoryRegion) -> None:
+        """Release a virtual-NVM region."""
+        if not region.persistent:
+            raise QuartzError("pfree of a non-persistent region")
+        self.machine.free(region)

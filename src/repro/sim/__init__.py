@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately tiny: a cancellable event heap
+(:mod:`repro.sim.events`), a simulator loop (:mod:`repro.sim.kernel`), and
+generator-based processes with interrupt support
+(:mod:`repro.sim.process`).  Everything else in the reproduction — the
+hardware model, the OS layer, Quartz itself — is built out of these three
+pieces.
+"""
+
+from repro.sim.events import ScheduledEvent
+from repro.sim.kernel import Simulator
+from repro.sim.process import Condition, Interrupt, Process, Timeout
+
+__all__ = [
+    "Condition",
+    "Interrupt",
+    "Process",
+    "ScheduledEvent",
+    "Simulator",
+    "Timeout",
+]

@@ -1,0 +1,54 @@
+"""Cancellable scheduled events for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class ScheduledEvent:
+    """A callback scheduled at a simulated time, cancellable before firing.
+
+    Cancellation is lazy: the heap entry stays in place and is discarded when
+    popped.  This makes :meth:`cancel` O(1), which matters because the core
+    model cancels and reschedules completion events whenever a signal
+    interrupts an in-flight memory activity.
+    """
+
+    __slots__ = ("time", "seq", "callback", "_cancelled", "_fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has been invoked."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled to fire."""
+        return not self._cancelled and not self._fired
+
+    def _fire(self) -> None:
+        self._fired = True
+        self.callback()
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"ScheduledEvent(t={self.time!r}, seq={self.seq}, {state})"

@@ -1,0 +1,141 @@
+"""The discrete-event simulator loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import ScheduledEvent
+from repro.sim.random import RandomStreams
+
+
+class Simulator:
+    """A single-clock discrete-event simulator.
+
+    Time is a float number of nanoseconds starting at zero.  Events
+    scheduled at equal times fire in scheduling order (FIFO), which keeps
+    runs deterministic.
+
+    The simulator owns a :class:`~repro.sim.random.RandomStreams` factory so
+    every model component can draw reproducible randomness without sharing a
+    stream.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._events_dispatched = 0
+        self.random = RandomStreams(seed=seed)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
+        return self.schedule_at(self.now + delay_ns, callback)
+
+    def schedule_at(self, time_ns: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* at absolute simulated time ``time_ns``."""
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before now={self.now}"
+            )
+        event = ScheduledEvent(time_ns, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_dispatched += 1
+            event._fire()
+            return True
+        return False
+
+    def run(
+        self,
+        until_ns: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the event heap drains, *until_ns* passes, or
+        *max_events* more events have been dispatched.
+
+        When stopped by ``until_ns`` the clock is advanced to exactly
+        ``until_ns`` (undispatched later events stay queued).
+        """
+        budget = max_events
+        while self._heap:
+            event = self._next_pending()
+            if event is None:
+                break
+            if until_ns is not None and event.time > until_ns:
+                self.now = max(self.now, until_ns)
+                return
+            if budget is not None:
+                if budget <= 0:
+                    return
+                budget -= 1
+            self.step()
+        if until_ns is not None:
+            self.now = max(self.now, until_ns)
+
+    def run_until_condition(
+        self,
+        predicate: Callable[[], bool],
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Run until *predicate* becomes true.
+
+        Raises :class:`SimulationError` if the heap drains (or the event
+        budget is exhausted) first — usually a deadlock in the modelled
+        system.
+        """
+        remaining = max_events
+        while not predicate():
+            if remaining <= 0:
+                raise SimulationError("event budget exhausted before condition held")
+            if not self.step():
+                raise SimulationError(
+                    "event heap drained before condition held (deadlock?)"
+                )
+            remaining -= 1
+
+    def _next_pending(self) -> Optional[ScheduledEvent]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_event_count(self) -> int:
+        """Number of still-pending (non-cancelled) events."""
+        return sum(1 for e in self._heap if e.pending)
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total events fired since construction."""
+        return self._events_dispatched
+
+    def spawn(self, generator: Iterator, name: str = "process"):
+        """Create and start a :class:`~repro.sim.process.Process`.
+
+        Imported lazily to avoid a circular import between kernel and
+        process modules.
+        """
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)

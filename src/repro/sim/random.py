@@ -1,0 +1,35 @@
+"""Deterministic, named random streams for the simulator.
+
+Every stochastic element of the model (performance-counter noise, workload
+data, measured-latency jitter) draws from its own named stream so that
+adding randomness to one component never perturbs another.  Stream seeds
+are derived with CRC32, which is stable across interpreter runs (unlike
+``hash(str)``).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+class RandomStreams:
+    """A factory of independent, reproducible ``random.Random`` streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it deterministically."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        derived = (self.seed * 0x9E3779B1 + zlib.crc32(name.encode("utf-8"))) & 0xFFFFFFFF
+        stream = random.Random(derived)
+        self._streams[name] = stream
+        return stream
+
+    def fork(self, salt: int) -> "RandomStreams":
+        """Derive an independent family of streams (e.g. per trial)."""
+        return RandomStreams(seed=(self.seed * 1_000_003 + salt) & 0x7FFFFFFF)

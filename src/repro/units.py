@@ -1,0 +1,93 @@
+"""Time, frequency, and size units used throughout the simulator.
+
+All simulated time is expressed in **nanoseconds** (float).  Processor work
+is expressed in **cycles** and converted through a :class:`ClockDomain`,
+mirroring how the paper (Section 6, *Challenges*) must translate performance
+counter readings (cycles) into the nanosecond latencies exposed by Quartz's
+user interface.  Dynamic frequency scaling (DVFS) breaks the fixed
+cycle<->time relationship, which is why the paper disables it; our DVFS
+model (``repro.hw.dvfs``) perturbs the effective frequency and therefore
+this conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: One nanosecond, the base unit of simulated time.
+NANOSECOND = 1.0
+#: One microsecond in nanoseconds.
+MICROSECOND = 1_000.0
+#: One millisecond in nanoseconds.
+MILLISECOND = 1_000_000.0
+#: One second in nanoseconds.
+SECOND = 1_000_000_000.0
+
+#: One kibibyte in bytes.
+KIB = 1024
+#: One mebibyte in bytes.
+MIB = 1024 * KIB
+#: One gibibyte in bytes.
+GIB = 1024 * MIB
+
+#: Size of a cache line in bytes on every modelled microarchitecture.
+CACHE_LINE_BYTES = 64
+
+
+def ns_to_us(ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / MICROSECOND
+
+
+def ns_to_ms(ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return ns / MILLISECOND
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / SECOND
+
+
+def gb_per_s_to_bytes_per_ns(gbps: float) -> float:
+    """Convert a bandwidth in GB/s (decimal gigabytes) to bytes/ns.
+
+    1 GB/s == 1e9 bytes / 1e9 ns == 1 byte/ns, so this is the identity;
+    the function exists to make call sites self-documenting.
+    """
+    return gbps
+
+
+def bytes_per_ns_to_gb_per_s(rate: float) -> float:
+    """Convert a bandwidth in bytes/ns to GB/s (decimal gigabytes)."""
+    return rate
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A fixed-frequency clock used to convert between cycles and time.
+
+    Parameters
+    ----------
+    freq_ghz:
+        Clock frequency in GHz.  One cycle takes ``1 / freq_ghz`` ns.
+    """
+
+    freq_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.freq_ghz}")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of a single cycle in nanoseconds."""
+        return 1.0 / self.freq_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert a cycle count to nanoseconds."""
+        return cycles / self.freq_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Convert a duration in nanoseconds to cycles."""
+        return ns * self.freq_ghz

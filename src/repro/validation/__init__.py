@@ -1,0 +1,26 @@
+"""Validation methodology of Section 4.3 and the per-figure experiments.
+
+``repro.validation.configs`` provides the paper's two testbed
+configurations: **Conf_1** (local memory + Quartz emulating a slower
+latency) and **Conf_2** (memory physically bound to the remote socket via
+the numactl analogue).  Emulation error compares the two.
+
+``repro.validation.experiments`` has one module per table/figure; see
+DESIGN.md's experiment index.
+"""
+
+from repro.validation.configs import RunOutcome, run_conf1, run_conf2, run_native
+from repro.validation.metrics import TrialStats, relative_error, summarize
+from repro.validation.reporting import ExperimentResult, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "RunOutcome",
+    "TrialStats",
+    "relative_error",
+    "render_table",
+    "run_conf1",
+    "run_conf2",
+    "run_native",
+    "summarize",
+]

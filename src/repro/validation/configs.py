@@ -1,0 +1,93 @@
+"""The validation testbed configurations of Section 4.3 (Figure 10).
+
+* :func:`run_conf1` — computation and memory on socket 0, Quartz attached
+  and emulating a higher latency (Figure 10a);
+* :func:`run_conf2` — computation on socket 0, memory physically bound to
+  socket 1 with the numactl analogue, **no emulator** (Figure 10b);
+* :func:`run_native` — computation and memory on socket 0, no emulator
+  (the "no emulation" baseline of Figure 13).
+
+Each run builds a fresh machine (caches cold, counters zeroed — the
+paper's "invalidate caches between runs"), drives the workload's main
+body to completion, and returns the workload result plus emulator
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.hw.arch import ArchSpec
+from repro.hw.machine import Machine
+from repro.os.system import SimOS
+from repro.quartz.calibration import CalibrationData, calibrate_arch
+from repro.quartz.config import QuartzConfig
+from repro.quartz.emulator import Quartz
+from repro.quartz.stats import QuartzStats
+from repro.sim import Simulator
+
+
+@dataclass
+class RunOutcome:
+    """Everything observable from one validation run."""
+
+    workload_result: Any
+    elapsed_ns: float
+    quartz_stats: Optional[QuartzStats] = None
+    machine: Optional[Machine] = None
+
+
+BodyFactory = Callable[[dict], Callable]
+
+
+def _drive(os: SimOS, body_factory: BodyFactory) -> RunOutcome:
+    out: dict = {}
+    start = os.sim.now
+    os.create_thread(body_factory(out), name="main")
+    os.run_to_completion()
+    return RunOutcome(
+        workload_result=out.get("result"),
+        elapsed_ns=os.sim.now - start,
+        machine=os.machine,
+    )
+
+
+def run_conf1(
+    arch: ArchSpec,
+    body_factory: BodyFactory,
+    quartz_config: QuartzConfig,
+    seed: int = 0,
+    calibration: Optional[CalibrationData] = None,
+) -> RunOutcome:
+    """Conf_1: local memory, Quartz emulating the target latency."""
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch, latency_jitter=True)
+    os = SimOS(machine, default_cpu_node=0)
+    quartz = Quartz(
+        os, quartz_config, calibration=calibration or calibrate_arch(arch)
+    )
+    quartz.attach()
+    outcome = _drive(os, body_factory)
+    outcome.quartz_stats = quartz.stats
+    return outcome
+
+
+def run_conf2(
+    arch: ArchSpec, body_factory: BodyFactory, seed: int = 0
+) -> RunOutcome:
+    """Conf_2: memory physically on the remote socket, no emulator."""
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch, latency_jitter=True)
+    os = SimOS(machine, default_cpu_node=0, default_mem_node=1)
+    return _drive(os, body_factory)
+
+
+def run_native(
+    arch: ArchSpec, body_factory: BodyFactory, seed: int = 0
+) -> RunOutcome:
+    """Local memory, no emulator (the unmodified baseline)."""
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch, latency_jitter=True)
+    os = SimOS(machine, default_cpu_node=0)
+    return _drive(os, body_factory)

@@ -1,0 +1,68 @@
+"""Per-figure/table experiment drivers.
+
+Each function regenerates one artefact of the paper's evaluation and
+returns an :class:`~repro.validation.reporting.ExperimentResult`.  The
+``REGISTRY`` maps CLI names to drivers; every driver accepts scaling
+keyword arguments with defaults small enough for CI, and EXPERIMENTS.md
+records the scaled-vs-paper parameter mapping.
+"""
+
+from repro.validation.experiments.micro import (
+    run_epoch_size_study,
+    run_figure8,
+    run_figure11,
+    run_figure12,
+    run_table2,
+)
+from repro.validation.experiments.threads import run_figure13
+from repro.validation.experiments.twomem import run_figure14
+from repro.validation.experiments.applications import (
+    run_figure15,
+    run_figure16_bandwidth,
+    run_figure16_latency,
+    run_graph500_validation,
+    run_pagerank_validation,
+)
+from repro.validation.experiments.overhead import (
+    run_dvfs_ablation,
+    run_model_ablation,
+    run_overhead_study,
+    run_pcommit_ablation,
+)
+from repro.validation.experiments.extensions import (
+    run_asymmetric_bandwidth,
+    run_kv_write_models,
+    run_loaded_latency_study,
+    run_parallel_pagerank,
+    run_technology_comparison,
+)
+
+#: CLI name -> experiment driver.
+REGISTRY = {
+    "table2": run_table2,
+    "figure8": run_figure8,
+    "figure11": run_figure11,
+    "figure12": run_figure12,
+    "figure13": run_figure13,
+    "figure14": run_figure14,
+    "figure15": run_figure15,
+    "figure16-latency": run_figure16_latency,
+    "figure16-bandwidth": run_figure16_bandwidth,
+    "pagerank-validation": run_pagerank_validation,
+    "graph500-validation": run_graph500_validation,
+    "overhead-study": run_overhead_study,
+    "epoch-size-study": run_epoch_size_study,
+    "pcommit-ablation": run_pcommit_ablation,
+    "dvfs-ablation": run_dvfs_ablation,
+    "model-ablation": run_model_ablation,
+    # Extensions beyond the paper's evaluation (Section 7 agenda).
+    "parallel-pagerank": run_parallel_pagerank,
+    "asymmetric-bandwidth": run_asymmetric_bandwidth,
+    "loaded-latency-study": run_loaded_latency_study,
+    "technology-comparison": run_technology_comparison,
+    "kv-write-models": run_kv_write_models,
+}
+
+__all__ = ["REGISTRY"] + sorted(
+    name for name in dir() if name.startswith("run_")
+)

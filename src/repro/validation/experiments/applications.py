@@ -1,0 +1,276 @@
+"""Application experiments: Figure 15, the PageRank validation number,
+Figure 16 sensitivity sweeps, and the Graph500 extended validation."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hw.arch import SANDY_BRIDGE, ArchSpec
+from repro.quartz.calibration import calibrate_arch
+from repro.quartz.config import QuartzConfig
+from repro.units import ns_to_ms
+from repro.validation.configs import run_conf1, run_conf2, run_native
+from repro.validation.metrics import relative_error
+from repro.validation.reporting import ExperimentResult
+from repro.workloads.graph500 import Graph500Config, graph500_body
+from repro.workloads.graphs import CsrGraph, synthetic_scale_free
+from repro.workloads.kvstore import KvStoreConfig, kvstore_main_body
+from repro.workloads.pagerank import PageRankConfig, pagerank_body
+
+
+def _kv_factory(workload: KvStoreConfig):
+    def factory(out):
+        return kvstore_main_body(workload, out)
+
+    return factory
+
+
+def run_figure15(
+    arch: ArchSpec = SANDY_BRIDGE,
+    thread_counts: Sequence[int] = (1, 2, 4, 8),
+    puts_per_thread: int = 8_000,
+    gets_per_thread: int = 8_000,
+) -> ExperimentResult:
+    """Figure 15: KV-store (MassTree stand-in) validation errors.
+
+    Emulated remote latency (Conf_1 + Quartz) vs. physical remote memory
+    (Conf_2); errors reported separately for put/s and get/s.  Paper:
+    2-8% on Sandy Bridge.
+    """
+    result = ExperimentResult(
+        experiment_id="figure15",
+        title="KV store validation errors (puts/s and gets/s)",
+        columns=["processor", "threads", "put_error_pct", "get_error_pct"],
+    )
+    calibration = calibrate_arch(arch)
+    config = QuartzConfig(nvm_read_latency_ns=calibration.dram_remote_ns)
+    for threads in thread_counts:
+        workload = KvStoreConfig(
+            puts_per_thread=puts_per_thread,
+            gets_per_thread=gets_per_thread,
+            threads=threads,
+        )
+        emulated = run_conf1(
+            arch, _kv_factory(workload), config, seed=700, calibration=calibration
+        ).workload_result
+        physical = run_conf2(arch, _kv_factory(workload), seed=700).workload_result
+        result.add_row(
+            processor=arch.family,
+            threads=threads,
+            put_error_pct=100.0
+            * relative_error(emulated.puts_per_second, physical.puts_per_second),
+            get_error_pct=100.0
+            * relative_error(emulated.gets_per_second, physical.gets_per_second),
+        )
+    result.note("paper reports 2-8% errors on Sandy Bridge")
+    result.note(
+        f"scaled: {puts_per_thread} puts + {gets_per_thread} gets per thread"
+    )
+    return result
+
+
+def run_pagerank_validation(
+    arch: ArchSpec = SANDY_BRIDGE,
+    workload: Optional[PageRankConfig] = None,
+    graph: Optional[CsrGraph] = None,
+) -> ExperimentResult:
+    """Section 4.7: single-threaded PageRank completion-time error.
+
+    Paper: 2.9% on Sandy Bridge.
+    """
+    workload = workload or PageRankConfig()
+    if graph is None:
+        graph = synthetic_scale_free(
+            workload.vertex_count, workload.edges_per_vertex, seed=workload.seed
+        )
+    calibration = calibrate_arch(arch)
+    config = QuartzConfig(nvm_read_latency_ns=calibration.dram_remote_ns)
+
+    def factory(out):
+        return pagerank_body(workload, out, graph=graph)
+
+    emulated = run_conf1(arch, factory, config, seed=710, calibration=calibration)
+    physical = run_conf2(arch, factory, seed=710)
+    result = ExperimentResult(
+        experiment_id="pagerank-validation",
+        title="PageRank completion-time validation",
+        columns=[
+            "processor", "iterations", "ct_emulated_ms", "ct_actual_ms",
+            "error_pct",
+        ],
+    )
+    result.add_row(
+        processor=arch.family,
+        iterations=emulated.workload_result.iterations,
+        ct_emulated_ms=ns_to_ms(emulated.workload_result.elapsed_ns),
+        ct_actual_ms=ns_to_ms(physical.workload_result.elapsed_ns),
+        error_pct=100.0
+        * relative_error(
+            emulated.workload_result.elapsed_ns,
+            physical.workload_result.elapsed_ns,
+        ),
+    )
+    result.note("paper reports 2.9% on Sandy Bridge")
+    result.note(
+        f"scaled graph: {graph.vertex_count} vertices / {graph.edge_count} "
+        "arcs (paper: 4.8M / 69M)"
+    )
+    return result
+
+
+def run_graph500_validation(
+    arch: ArchSpec = SANDY_BRIDGE,
+    workload: Optional[Graph500Config] = None,
+    graph: Optional[CsrGraph] = None,
+) -> ExperimentResult:
+    """Section 7: Graph500 BFS completion-time error (paper: <12%)."""
+    workload = workload or Graph500Config(roots=2)
+    if graph is None:
+        graph = synthetic_scale_free(
+            workload.vertex_count, workload.edges_per_vertex, seed=workload.seed
+        )
+    calibration = calibrate_arch(arch)
+    config = QuartzConfig(nvm_read_latency_ns=calibration.dram_remote_ns)
+
+    def factory(out):
+        return graph500_body(workload, out, graph=graph)
+
+    emulated = run_conf1(arch, factory, config, seed=720, calibration=calibration)
+    physical = run_conf2(arch, factory, seed=720)
+    result = ExperimentResult(
+        experiment_id="graph500-validation",
+        title="Graph500 BFS completion-time validation",
+        columns=["processor", "traversed_edges", "error_pct"],
+    )
+    result.add_row(
+        processor=arch.family,
+        traversed_edges=emulated.workload_result.traversed_edges,
+        error_pct=100.0
+        * relative_error(
+            emulated.workload_result.elapsed_ns,
+            physical.workload_result.elapsed_ns,
+        ),
+    )
+    result.note("paper (Section 7, HP hardware emulator cross-check): <12%")
+    return result
+
+
+def run_figure16_latency(
+    arch: ArchSpec = SANDY_BRIDGE,
+    target_latencies_ns: Sequence[float] = (
+        100.0, 200.0, 300.0, 500.0, 1000.0, 2000.0,
+    ),
+    pagerank: Optional[PageRankConfig] = None,
+    kv: Optional[KvStoreConfig] = None,
+) -> ExperimentResult:
+    """Figure 16(a)/(c): sensitivity to NVM read latency.
+
+    Values are normalised to the DRAM-latency baseline; the paper's
+    shape: MassTree throughput -15% at 200 ns and ~5x down at 2 us;
+    PageRank flat at 200 ns, >5x completion time at 2 us.
+    """
+    pagerank = pagerank or PageRankConfig(max_iterations=12, tolerance=1e-15)
+    # The value heap must exceed the LLC or gets never reach (emulated)
+    # NVM: 60k x 1 KiB values = ~60 MB per thread.
+    kv = kv or KvStoreConfig(puts_per_thread=60_000, gets_per_thread=60_000)
+    graph = synthetic_scale_free(
+        pagerank.vertex_count, pagerank.edges_per_vertex, seed=pagerank.seed
+    )
+    calibration = calibrate_arch(arch)
+
+    def pr_factory(out):
+        return pagerank_body(pagerank, out, graph=graph)
+
+    kv_factory = _kv_factory(kv)
+    baseline_pr = run_native(arch, pr_factory, seed=730).workload_result
+    baseline_kv = run_native(arch, kv_factory, seed=730).workload_result
+    result = ExperimentResult(
+        experiment_id="figure16-latency",
+        title="PageRank and KV-store sensitivity to NVM latency",
+        columns=[
+            "nvm_latency_ns", "pagerank_ct_rel", "kv_puts_rel", "kv_gets_rel",
+        ],
+    )
+    for target in target_latencies_ns:
+        if target <= calibration.dram_local_ns:
+            # The DRAM point itself: the baseline.
+            result.add_row(
+                nvm_latency_ns=target, pagerank_ct_rel=1.0,
+                kv_puts_rel=1.0, kv_gets_rel=1.0,
+            )
+            continue
+        config = QuartzConfig(nvm_read_latency_ns=target)
+        pr = run_conf1(
+            arch, pr_factory, config, seed=730, calibration=calibration
+        ).workload_result
+        kv_result = run_conf1(
+            arch, kv_factory, config, seed=730, calibration=calibration
+        ).workload_result
+        result.add_row(
+            nvm_latency_ns=target,
+            pagerank_ct_rel=pr.elapsed_ns / baseline_pr.elapsed_ns,
+            kv_puts_rel=kv_result.puts_per_second / baseline_kv.puts_per_second,
+            kv_gets_rel=kv_result.gets_per_second / baseline_kv.gets_per_second,
+        )
+    result.note(
+        "paper shape: KV throughput -15% at 200 ns and ~5x lower at 2 us; "
+        "PageRank CT ~flat at 200 ns and >5x at 2 us"
+    )
+    return result
+
+
+def run_figure16_bandwidth(
+    arch: ArchSpec = SANDY_BRIDGE,
+    bandwidths_gbps: Sequence[float] = (0.5, 1.0, 1.5, 3.0, 5.0, 10.0, 20.0),
+    pagerank: Optional[PageRankConfig] = None,
+    kv: Optional[KvStoreConfig] = None,
+) -> ExperimentResult:
+    """Figure 16(b)/(d): sensitivity to NVM bandwidth.
+
+    Latency held at the DRAM-feasible minimum; only bandwidth throttled.
+    Paper: PageRank unaffected above ~3 GB/s, MassTree above ~1.5 GB/s.
+    """
+    pagerank = pagerank or PageRankConfig(max_iterations=12, tolerance=1e-15)
+    # The value heap must exceed the LLC or gets never reach (emulated)
+    # NVM: 60k x 1 KiB values = ~60 MB per thread.
+    kv = kv or KvStoreConfig(puts_per_thread=60_000, gets_per_thread=60_000)
+    graph = synthetic_scale_free(
+        pagerank.vertex_count, pagerank.edges_per_vertex, seed=pagerank.seed
+    )
+    calibration = calibrate_arch(arch)
+
+    def pr_factory(out):
+        return pagerank_body(pagerank, out, graph=graph)
+
+    kv_factory = _kv_factory(kv)
+    baseline_pr = run_native(arch, pr_factory, seed=740).workload_result
+    baseline_kv = run_native(arch, kv_factory, seed=740).workload_result
+    result = ExperimentResult(
+        experiment_id="figure16-bandwidth",
+        title="PageRank and KV-store sensitivity to NVM bandwidth",
+        columns=[
+            "nvm_bandwidth_gbps", "pagerank_ct_rel", "kv_puts_rel", "kv_gets_rel",
+        ],
+    )
+    for bandwidth in sorted(bandwidths_gbps):
+        config = QuartzConfig(
+            nvm_read_latency_ns=calibration.dram_local_ns * 1.001,
+            nvm_bandwidth_gbps=bandwidth,
+        )
+        pr = run_conf1(
+            arch, pr_factory, config, seed=740, calibration=calibration
+        ).workload_result
+        kv_result = run_conf1(
+            arch, kv_factory, config, seed=740, calibration=calibration
+        ).workload_result
+        result.add_row(
+            nvm_bandwidth_gbps=bandwidth,
+            pagerank_ct_rel=pr.elapsed_ns / baseline_pr.elapsed_ns,
+            kv_puts_rel=kv_result.puts_per_second / baseline_kv.puts_per_second,
+            kv_gets_rel=kv_result.gets_per_second / baseline_kv.gets_per_second,
+        )
+    result.note(
+        "paper shape: PageRank CT impacted only below ~3 GB/s; KV "
+        "throughput only below ~1.5 GB/s"
+    )
+    return result

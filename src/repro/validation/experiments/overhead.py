@@ -1,0 +1,273 @@
+"""Overhead and ablation experiments (Sections 3.2, 6, and Figure 2).
+
+* ``run_overhead_study`` — the Section 3.2 numbers: per-epoch processing
+  cost, rdpmc vs. PAPI backend, the "switched-off delay injection" mode,
+  and overhead amortisation.
+* ``run_pcommit_ablation`` — pflush vs. the pcommit write model on an
+  independent-writes microbenchmark (Section 6).
+* ``run_dvfs_ablation`` — emulation error with frequency scaling enabled
+  (why the paper disables DVFS, Section 6).
+* ``run_model_ablation`` — Eq. (1) vs. Eq. (2)/(3) across MLP degrees
+  (the Figure 2 argument).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hw.arch import IVY_BRIDGE, ArchSpec
+from repro.hw.machine import Machine
+from repro.ops import Commit, Compute
+from repro.os.system import SimOS
+from repro.quartz.calibration import calibrate_arch
+from repro.quartz.config import (
+    EPOCH_BASE_COST_CYCLES,
+    QuartzConfig,
+    THREAD_REGISTRATION_COST_CYCLES,
+    WriteModel,
+)
+from repro.quartz.counters import PAPI_BACKEND, RDPMC_BACKEND
+from repro.quartz.emulator import Quartz
+from repro.sim import Simulator
+from repro.units import MIB, MILLISECOND
+from repro.validation.configs import run_conf1, run_native
+from repro.validation.metrics import relative_error
+from repro.validation.reporting import ExperimentResult
+from repro.workloads.memlat import MemLatConfig, memlat_body
+
+
+def run_overhead_study(
+    arch: ArchSpec = IVY_BRIDGE, iterations: int = 400_000
+) -> ExperimentResult:
+    """Section 3.2: the emulator's own costs and their amortisation."""
+    calibration = calibrate_arch(arch)
+    result = ExperimentResult(
+        experiment_id="overhead-study",
+        title="Emulator overhead (Section 3.2)",
+        columns=["quantity", "value", "paper_reference"],
+    )
+    # Fixed constants (charged as compute by the library).
+    result.add_row(
+        quantity="thread registration (cycles)",
+        value=THREAD_REGISTRATION_COST_CYCLES,
+        paper_reference="~300,000 cycles",
+    )
+    sim = Simulator(seed=1)
+    pmc = Machine(sim, arch).pmc(0)
+    pmc.program(arch.counter_events.all_events(), privileged=True)
+    _, rdpmc_cost = RDPMC_BACKEND.read_all(pmc, arch.counter_events)
+    _, papi_cost = PAPI_BACKEND.read_all(pmc, arch.counter_events)
+    result.add_row(
+        quantity="epoch processing, rdpmc (cycles)",
+        value=rdpmc_cost + EPOCH_BASE_COST_CYCLES,
+        paper_reference="~4000 cycles, half of it counter reads",
+    )
+    result.add_row(
+        quantity="counter read, PAPI-style (cycles)",
+        value=papi_cost,
+        paper_reference="~30,000 cycles (~8x the rdpmc epoch)",
+    )
+
+    # Switched-off injection: epoch machinery on, delays off.
+    def factory(out):
+        return memlat_body(MemLatConfig(iterations=iterations), out)
+
+    native = run_native(arch, factory, seed=800).workload_result
+    for backend in ("rdpmc", "papi"):
+        config = QuartzConfig(
+            nvm_read_latency_ns=calibration.dram_remote_ns,
+            injection_enabled=False,
+            counter_backend=backend,
+            max_epoch_ns=0.5 * MILLISECOND,
+        )
+        switched_off = run_conf1(
+            arch, factory, config, seed=800, calibration=calibration
+        ).workload_result
+        overhead_pct = 100.0 * (
+            switched_off.elapsed_ns / native.elapsed_ns - 1.0
+        )
+        result.add_row(
+            quantity=f"switched-off-injection overhead, {backend} (%)",
+            value=overhead_pct,
+            paper_reference="<4% for most experiments (rdpmc)",
+        )
+    # Amortisation: with injection on, overhead hides inside delays.
+    config = QuartzConfig(
+        nvm_read_latency_ns=calibration.dram_remote_ns,
+        max_epoch_ns=0.5 * MILLISECOND,
+    )
+    outcome = run_conf1(arch, factory, config, seed=800, calibration=calibration)
+    stats = outcome.quartz_stats
+    result.add_row(
+        quantity="overhead amortized into delays (%)",
+        value=100.0 * stats.overhead_amortized_ns / max(stats.overhead_ns, 1e-9),
+        paper_reference="fully amortized with proper epoch configuration",
+    )
+    result.add_row(
+        quantity="feedback",
+        value=stats.feedback(),
+        paper_reference="Section 3.2 statistics",
+    )
+    return result
+
+
+def run_pcommit_ablation(
+    arch: ArchSpec = IVY_BRIDGE,
+    independent_writes: int = 16,
+    barriers: int = 200,
+    write_latency_ns: float = 1000.0,
+) -> ExperimentResult:
+    """Section 6: pflush serialises independent writes; pcommit overlaps.
+
+    A microbenchmark persisting ``independent_writes`` object fields per
+    barrier (e.g. initialising a persistent object) runs under both write
+    models.
+    """
+    calibration = calibrate_arch(arch)
+    result = ExperimentResult(
+        experiment_id="pcommit-ablation",
+        title="pflush vs clflushopt+pcommit write models",
+        columns=["write_model", "elapsed_us", "ns_per_barrier"],
+    )
+    elapsed_by_model = {}
+    for model in (WriteModel.PFLUSH, WriteModel.PCOMMIT):
+        sim = Simulator(seed=1)
+        machine = Machine(sim, arch)
+        os = SimOS(machine)
+        quartz = Quartz(
+            os,
+            QuartzConfig(
+                nvm_read_latency_ns=calibration.dram_local_ns * 1.001,
+                nvm_write_latency_ns=write_latency_ns,
+                write_model=model,
+            ),
+            calibration=calibration,
+        )
+        quartz.attach()
+        timing: dict = {}
+
+        def body(ctx):
+            region = ctx.pmalloc(16 * MIB)
+            start = ctx.now_ns
+            for _ in range(barriers):
+                # Persist independent fields of one object, then barrier.
+                for _ in range(independent_writes):
+                    yield from ctx.pflush(region, lines=1)
+                yield Commit()
+                yield Compute(200.0)
+            timing["elapsed"] = ctx.now_ns - start
+
+        os.create_thread(body)
+        os.run_to_completion()
+        elapsed_by_model[model] = timing["elapsed"]
+        result.add_row(
+            write_model=model.value,
+            elapsed_us=timing["elapsed"] / 1000.0,
+            ns_per_barrier=timing["elapsed"] / barriers,
+        )
+    speedup = (
+        elapsed_by_model[WriteModel.PFLUSH]
+        / elapsed_by_model[WriteModel.PCOMMIT]
+    )
+    result.note(
+        f"pcommit model speedup on {independent_writes} independent writes: "
+        f"{speedup:.1f}x (pflush pessimistically serializes, Section 6)"
+    )
+    return result
+
+
+def run_dvfs_ablation(
+    arch: ArchSpec = IVY_BRIDGE,
+    target_ns: float = 600.0,
+    iterations: int = 300_000,
+    compute_cycles_per_access: float = 100.0,
+) -> ExperimentResult:
+    """Section 6: DVFS breaks the cycle<->ns translation.
+
+    The workload mixes compute with memory so frequency actually matters;
+    with DVFS enabled, stall-cycle counters accrue at a wandering
+    frequency while Quartz converts with the nominal one.
+    """
+    calibration = calibrate_arch(arch)
+    result = ExperimentResult(
+        experiment_id="dvfs-ablation",
+        title="Emulation error with DVFS enabled vs disabled",
+        columns=["dvfs", "measured_ns", "error_pct"],
+    )
+    for dvfs_enabled in (False, True):
+        sim = Simulator(seed=4)
+        machine = Machine(sim, arch)
+        if dvfs_enabled:
+            machine.dvfs.enable()
+        os = SimOS(machine)
+        quartz = Quartz(
+            os,
+            QuartzConfig(
+                nvm_read_latency_ns=target_ns, max_epoch_ns=0.5 * MILLISECOND
+            ),
+            calibration=calibration,
+        )
+        quartz.attach()
+        out: dict = {}
+        os.create_thread(
+            memlat_body(MemLatConfig(iterations=iterations), out)
+        )
+        os.run_to_completion()
+        measured = out["result"].measured_latency_ns
+        result.add_row(
+            dvfs="enabled" if dvfs_enabled else "disabled",
+            measured_ns=measured,
+            error_pct=100.0 * relative_error(measured, target_ns),
+        )
+    result.note(
+        "the paper disables DVFS to preserve a fixed cycle/ns relationship "
+        "(Section 6)"
+    )
+    return result
+
+
+def run_model_ablation(
+    arch: ArchSpec = IVY_BRIDGE,
+    chain_counts: Sequence[int] = (1, 2, 4, 8),
+    target_ns: float = 600.0,
+    iterations: int = 200_000,
+) -> ExperimentResult:
+    """Figure 2's argument quantified: Eq. (1) vs Eq. (2)/(3).
+
+    The simple model over-injects by roughly the MLP factor; the
+    stall-based model stays on target at every parallelism degree.
+    """
+    calibration = calibrate_arch(arch)
+    result = ExperimentResult(
+        experiment_id="model-ablation",
+        title="Simple (Eq. 1) vs stall-based (Eq. 2/3) latency model",
+        columns=["chains", "model", "measured_ns", "error_pct"],
+    )
+    for chains in chain_counts:
+        for model in ("stalls", "simple"):
+            config = QuartzConfig(
+                nvm_read_latency_ns=target_ns,
+                latency_model=model,
+                max_epoch_ns=0.5 * MILLISECOND,
+            )
+
+            def factory(out, chains=chains):
+                return memlat_body(
+                    MemLatConfig(iterations=iterations, chains=chains), out
+                )
+
+            outcome = run_conf1(
+                arch, factory, config, seed=820, calibration=calibration
+            )
+            measured = outcome.workload_result.measured_latency_ns
+            result.add_row(
+                chains=chains,
+                model=model,
+                measured_ns=measured,
+                error_pct=100.0 * relative_error(measured, target_ns),
+            )
+    result.note(
+        "Eq. 1 counts every miss as serialized, over-injecting by ~MLP x "
+        "(Figure 2); Eq. 2/3 stays accurate as parallelism grows"
+    )
+    return result

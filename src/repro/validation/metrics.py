@@ -1,0 +1,47 @@
+"""Error metrics and trial statistics for validation experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / reference (the paper's emulation error)."""
+    if reference == 0:
+        raise ValidationError("reference value is zero")
+    return abs(measured - reference) / abs(reference)
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary of repeated trials of one measurement."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def spread(self) -> float:
+        """Max minus min (the paper's error bars in Figure 12)."""
+        return self.maximum - self.minimum
+
+
+def summarize(values: list[float]) -> TrialStats:
+    """Mean/std/min/max over trial values."""
+    if not values:
+        raise ValidationError("no trial values to summarize")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((value - mean) ** 2 for value in values) / count
+    return TrialStats(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,79 @@
+"""Structured experiment results and ASCII rendering.
+
+Every experiment driver returns an :class:`ExperimentResult`: an
+identifier tying it to the paper artefact (e.g. ``figure12``), uniform
+rows of named values, and free-form notes.  :func:`render_table` prints
+the rows as the text analogue of the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ValidationError
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated data behind one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row; keys must match ``columns``."""
+        missing = [column for column in self.columns if column not in values]
+        if missing:
+            raise ValidationError(f"row missing columns {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ValidationError(f"no such column: {name}")
+        return [row[name] for row in self.rows]
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note (scaling substitutions etc.)."""
+        self.notes.append(text)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render an experiment result as a fixed-width ASCII table."""
+    header = [result.columns]
+    body = [
+        [_format_cell(row[column]) for column in result.columns]
+        for row in result.rows
+    ]
+    widths = [
+        max(len(line[index]) for line in header + body)
+        for index in range(len(result.columns))
+    ]
+    separator = "-+-".join("-" * width for width in widths)
+
+    def render_line(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [
+        f"== {result.experiment_id}: {result.title} ==",
+        render_line(result.columns),
+        separator,
+    ]
+    lines.extend(render_line(cells) for cells in body)
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Graph500-style BFS — the extended-validation workload of Section 7.
+
+The paper's conclusion reports <12% error for the Graph500 reference
+implementation on HP's hardware latency emulator.  We implement the
+Graph500 kernel-2 shape: level-synchronous BFS from sampled roots,
+building a real parent tree (validated like the benchmark's own checker)
+while charging the memory system per level:
+
+* a sequential scan of the frontier;
+* one random access into the visited/parent structure per inspected edge
+  (the latency-bound part — the structure must exceed the LLC for the
+  benchmark to be meaningful, as at real Graph500 scales);
+* a sequential read of the adjacency of the frontier.
+
+The traversal itself is vectorised with numpy so multi-million-vertex
+graphs run in seconds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.hw.topology import PageSize
+from repro.ops import MemBatch, PatternKind
+from repro.workloads.graphs import (
+    CsrGraph,
+    synthetic_power_law,
+    synthetic_scale_free,
+)
+
+
+@dataclass(frozen=True)
+class Graph500Config:
+    """Parameters of one BFS (Graph500 kernel-2 style) run."""
+
+    vertex_count: int = 2_000_000
+    edges_per_vertex: int = 4
+    roots: int = 1
+    seed: int = 0
+    persistent: bool = True
+    compute_cycles_per_edge: float = 8.0
+    #: Bytes of per-vertex BFS state (parent pointer + visited flag +
+    #: level, as in reference implementations).
+    bytes_per_vertex: int = 16
+    #: Independent visited-probe loads in flight.
+    probe_parallelism: int = 8
+
+    def __post_init__(self) -> None:
+        if self.roots < 1:
+            raise WorkloadError(f"need at least one root: {self.roots}")
+        if self.bytes_per_vertex < 1:
+            raise WorkloadError(
+                f"vertex state must have a size: {self.bytes_per_vertex}"
+            )
+
+
+@dataclass
+class Graph500Result:
+    """Output of one BFS run."""
+
+    config: Graph500Config
+    traversed_edges: int
+    elapsed_ns: float
+    #: Parent array of the last BFS (for validation).
+    parents: np.ndarray
+
+    @property
+    def teps(self) -> float:
+        """Traversed edges per second (the Graph500 metric)."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.traversed_edges / self.elapsed_ns * 1e9
+
+
+def default_graph(config: Graph500Config) -> CsrGraph:
+    """The graph a config implies (exact generator for small instances)."""
+    if config.vertex_count >= 50_000:
+        return synthetic_power_law(
+            config.vertex_count, config.edges_per_vertex, seed=config.seed
+        )
+    return synthetic_scale_free(
+        config.vertex_count, config.edges_per_vertex, seed=config.seed
+    )
+
+
+def validate_bfs_tree(graph: CsrGraph, root: int, parents: np.ndarray) -> bool:
+    """Graph500-style check: every reached vertex's parent edge exists
+    and the root is its own parent."""
+    if parents[root] != root:
+        return False
+    for vertex in range(graph.vertex_count):
+        parent = parents[vertex]
+        if parent < 0 or vertex == root:
+            continue
+        if vertex not in graph.neighbors(parent):
+            return False
+    return True
+
+
+def _expand_frontier(
+    graph: CsrGraph, frontier: np.ndarray, parents: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Vectorised level expansion: returns (next frontier, edges inspected)."""
+    starts = graph.row_ptr[frontier]
+    counts = graph.row_ptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), 0
+    # Index every edge of the frontier: starts repeated, plus a running
+    # within-vertex offset.
+    bases = np.repeat(starts, counts)
+    resets = np.repeat(np.cumsum(counts) - counts, counts)
+    offsets = np.arange(total, dtype=np.int64) - resets
+    neighbors = graph.col[bases + offsets].astype(np.int64)
+    sources = np.repeat(frontier, counts)
+    unvisited = parents[neighbors] < 0
+    neighbors = neighbors[unvisited]
+    sources = sources[unvisited]
+    if neighbors.size == 0:
+        return np.empty(0, dtype=np.int64), total
+    fresh, first_index = np.unique(neighbors, return_index=True)
+    parents[fresh] = sources[first_index]
+    return fresh, total
+
+
+def graph500_body(
+    config: Graph500Config, out: dict, graph: Optional[CsrGraph] = None
+):
+    """Workload body factory; result lands in ``out['result']``."""
+
+    def body(ctx):
+        nonlocal graph
+        if graph is None:
+            graph = default_graph(config)
+        n = graph.vertex_count
+        alloc = ctx.pmalloc if config.persistent else ctx.malloc
+        edge_region = alloc(max(64, graph.edge_count * 4), label="bfs-edges")
+        visited_region = alloc(
+            max(64, n * config.bytes_per_vertex),
+            page_size=PageSize.HUGE_2M,
+            label="bfs-visited",
+        )
+        frontier_region = alloc(max(64, n * 8), label="bfs-frontier")
+
+        rng = random.Random(config.seed)
+        roots = [rng.randrange(n) for _ in range(config.roots)]
+        total_traversed = 0
+        parents = np.full(n, -1, dtype=np.int64)
+        start = ctx.now_ns
+        for root in roots:
+            parents = np.full(n, -1, dtype=np.int64)
+            parents[root] = root
+            frontier = np.array([root], dtype=np.int64)
+            while frontier.size:
+                # -- memory traffic of this level ----------------------
+                yield MemBatch(
+                    frontier_region,
+                    int(frontier.size),
+                    PatternKind.SEQUENTIAL,
+                    stride_bytes=8,
+                    label="bfs-frontier-scan",
+                )
+                level_edges = int(
+                    (graph.row_ptr[frontier + 1] - graph.row_ptr[frontier]).sum()
+                )
+                if level_edges:
+                    yield MemBatch(
+                        edge_region,
+                        level_edges,
+                        PatternKind.SEQUENTIAL,
+                        stride_bytes=4,
+                        compute_cycles_per_access=config.compute_cycles_per_edge,
+                        label="bfs-adjacency",
+                    )
+                    yield MemBatch(
+                        visited_region,
+                        level_edges,
+                        PatternKind.RANDOM,
+                        footprint_bytes=n * config.bytes_per_vertex,
+                        parallelism=config.probe_parallelism,
+                        label="bfs-visited-probe",
+                    )
+                # -- the actual traversal (vectorised) ------------------
+                frontier, inspected = _expand_frontier(graph, frontier, parents)
+                total_traversed += inspected
+        out["result"] = Graph500Result(
+            config=config,
+            traversed_edges=total_traversed,
+            elapsed_ns=ctx.now_ns - start,
+            parents=parents,
+        )
+        return out["result"]
+
+    return body

@@ -1,0 +1,239 @@
+"""The key-value store workload — MassTree's stand-in (Section 4.7).
+
+The paper runs MassTree with 1-8 threads and reports put/s and get/s.
+Here each thread owns a key partition backed by a real
+:class:`~repro.workloads.btree.BPlusTree` (functional: gets return what
+puts stored) living in a pmalloc'd arena.  For every batch of operations
+the workload charges the memory hierarchy one dependent random access per
+tree level, with the level's true node-count footprint — the
+latency-sensitive pointer-walk behaviour that makes MassTree throughput
+collapse as NVM latency grows (Figure 16).
+
+Phases are barrier-separated like the original benchmark: all threads
+load (puts, timed), then all threads query (gets, timed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.hw.topology import PageSize
+from repro.ops import Commit, JoinThread, MemBatch, PatternKind, SpawnThread
+from repro.units import MIB
+from repro.workloads.btree import BPlusTree
+
+
+@dataclass(frozen=True)
+class KvStoreConfig:
+    """Parameters of one KV-store run."""
+
+    #: Keys each thread inserts during the put phase.
+    puts_per_thread: int = 20_000
+    #: Lookups each thread performs during the get phase.
+    gets_per_thread: int = 20_000
+    threads: int = 1
+    #: B+-tree fan-out and modelled node size.
+    node_order: int = 16
+    node_bytes: int = 512
+    #: Stored value size; the value heap is the store's bulk footprint
+    #: (values dominate memory in KV stores, and put/get each touch one).
+    value_bytes: int = 1024
+    #: Operations charged to the memory system per batch.
+    batch_ops: int = 500
+    #: Key-comparison / node-search / protocol work per level visit
+    #: (MassTree-class stores spend well under a microsecond of CPU per
+    #: operation; ~180 cycles x 4 levels here).
+    compute_cycles_per_level: float = 180.0
+    #: Store the tree in persistent memory (pmalloc).
+    persistent: bool = True
+    #: pflush the touched leaf line after every put (needs Quartz write
+    #: emulation to cost anything extra).
+    flush_writes: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise WorkloadError(f"need at least one thread: {self.threads}")
+        if self.puts_per_thread < 1:
+            raise WorkloadError("puts_per_thread must be positive")
+        if self.gets_per_thread < 0:
+            raise WorkloadError("gets_per_thread cannot be negative")
+        if self.batch_ops < 1:
+            raise WorkloadError(f"batch size must be positive: {self.batch_ops}")
+
+
+@dataclass
+class KvStoreResult:
+    """Output of one KV-store run."""
+
+    config: KvStoreConfig
+    put_phase_ns: float
+    get_phase_ns: float
+    total_puts: int
+    total_gets: int
+    #: Lookups whose value matched what was stored (functional check).
+    verified_gets: int
+    final_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def puts_per_second(self) -> float:
+        """Aggregate put throughput (the Figure 15/16 metric)."""
+        if self.put_phase_ns <= 0:
+            return 0.0
+        return self.total_puts / self.put_phase_ns * 1e9
+
+    @property
+    def gets_per_second(self) -> float:
+        """Aggregate get throughput."""
+        if self.get_phase_ns <= 0:
+            return 0.0
+        return self.total_gets / self.get_phase_ns * 1e9
+
+
+def _arena_bytes(config: KvStoreConfig) -> int:
+    node_estimate = (
+        config.puts_per_thread * 2 // config.node_order + 64
+    ) * config.node_bytes
+    value_estimate = config.puts_per_thread * config.value_bytes
+    return max(64 * MIB, 4 * node_estimate + 2 * value_estimate)
+
+
+def _tree_traffic(ctx, tree, arena, ops, config, is_put):
+    """Charge one batch of tree operations to the memory system.
+
+    One dependent node fetch per tree level (footprint = the level's
+    node count), then one access to the value heap — the bulk footprint
+    that misses the LLC on realistic store sizes.
+    """
+    for footprint in tree.level_footprints(config.node_bytes):
+        yield MemBatch(
+            arena,
+            accesses=ops,
+            pattern=PatternKind.RANDOM,
+            footprint_bytes=min(footprint, arena.size_bytes),
+            compute_cycles_per_access=config.compute_cycles_per_level,
+            label="kv-level",
+        )
+    value_footprint = min(len(tree) * config.value_bytes, arena.size_bytes)
+    value_footprint = max(value_footprint, 64)
+    if is_put:
+        yield MemBatch(
+            arena,
+            accesses=ops,
+            pattern=PatternKind.RANDOM,
+            footprint_bytes=value_footprint,
+            is_store=True,
+            label="kv-value-write",
+        )
+        if config.flush_writes:
+            # Persist each put's value line, then a persistence barrier
+            # for the batch (clflushopt + pcommit semantics; under the
+            # pessimistic pflush model each line already stall-waited).
+            yield from ctx.pflush(arena, lines=ops)
+            yield Commit()
+    else:
+        yield MemBatch(
+            arena,
+            accesses=ops,
+            pattern=PatternKind.RANDOM,
+            footprint_bytes=value_footprint,
+            label="kv-value-read",
+        )
+
+
+def _put_worker(ctx, config: KvStoreConfig, tree: BPlusTree, arena, thread_index):
+    rng = ctx.rng("kv-put")
+    keys = list(
+        range(thread_index, thread_index + config.threads * config.puts_per_thread,
+              config.threads)
+    )
+    rng.shuffle(keys)
+    done = 0
+    while done < len(keys):
+        batch = keys[done : done + config.batch_ops]
+        for key in batch:
+            tree.insert(key, key * 31 + thread_index)
+        yield from _tree_traffic(ctx, tree, arena, len(batch), config, is_put=True)
+        done += len(batch)
+    return done
+
+
+def _get_worker(ctx, config: KvStoreConfig, tree: BPlusTree, arena, thread_index):
+    rng = ctx.rng("kv-get")
+    key_space = config.threads * config.puts_per_thread
+    verified = 0
+    done = 0
+    while done < config.gets_per_thread:
+        batch = min(config.batch_ops, config.gets_per_thread - done)
+        for _ in range(batch):
+            key = rng.randrange(key_space // config.threads) * config.threads
+            key += thread_index
+            value = tree.get(key)
+            if value == key * 31 + thread_index:
+                verified += 1
+        yield from _tree_traffic(ctx, tree, arena, batch, config, is_put=False)
+        done += batch
+    return verified
+
+
+def kvstore_main_body(config: KvStoreConfig, out: dict):
+    """Main-thread body: barrier-separated put and get phases."""
+
+    def body(ctx):
+        trees = [BPlusTree(order=config.node_order) for _ in range(config.threads)]
+        alloc = ctx.pmalloc if config.persistent else ctx.malloc
+        arenas = [
+            alloc(
+                _arena_bytes(config),
+                page_size=PageSize.HUGE_2M,
+                label=f"kv-arena{index}",
+            )
+            for index in range(config.threads)
+        ]
+        # -- put phase ----------------------------------------------------
+        put_start = ctx.now_ns
+        workers = []
+        for index in range(config.threads):
+            workers.append(
+                (
+                    yield SpawnThread(
+                        _put_worker,
+                        name=f"kv-put{index}",
+                        args=(config, trees[index], arenas[index], index),
+                    )
+                )
+            )
+        total_puts = 0
+        for worker in workers:
+            total_puts += yield JoinThread(worker)
+        put_elapsed = ctx.now_ns - put_start
+        # -- get phase ----------------------------------------------------
+        get_start = ctx.now_ns
+        workers = []
+        for index in range(config.threads):
+            workers.append(
+                (
+                    yield SpawnThread(
+                        _get_worker,
+                        name=f"kv-get{index}",
+                        args=(config, trees[index], arenas[index], index),
+                    )
+                )
+            )
+        verified = 0
+        for worker in workers:
+            verified += yield JoinThread(worker)
+        get_elapsed = ctx.now_ns - get_start
+        out["result"] = KvStoreResult(
+            config=config,
+            put_phase_ns=put_elapsed,
+            get_phase_ns=get_elapsed,
+            total_puts=total_puts,
+            total_gets=config.threads * config.gets_per_thread,
+            verified_gets=verified,
+            final_sizes=[len(tree) for tree in trees],
+        )
+        return out["result"]
+
+    return body

@@ -1,0 +1,107 @@
+"""MultiLat — the two-memory validation benchmark of Section 4.6.
+
+A tailored MemLat extension: one pointer chain spread over *two* arrays,
+the first in DRAM (``malloc``) and the second in NVM (``pmalloc``,
+i.e. the sibling socket's DRAM under the virtual topology).  A recursive
+access pattern — e.g. 200 DRAM accesses followed by 100 NVM accesses —
+repeats until every element of both arrays has been read once.
+
+The validation property: if the emulator splits stall cycles correctly
+(Eq. 4), completion time is simply
+``Num_DRAM * DRAM_lat + Num_NVM * NVM_lat`` *independent of the access
+pattern* — which is what Figure 14 checks across four patterns and two
+array-size configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hw.topology import PageSize
+from repro.ops import MemBatch, PatternKind
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class MultiLatConfig:
+    """Parameters of one MultiLat run."""
+
+    #: Elements (one access each) in the DRAM-resident array (Num^DRAM).
+    dram_elements: int = 200_000
+    #: Elements in the NVM-resident array (Num^NVM).
+    nvm_elements: int = 100_000
+    #: Accesses per pattern repetition: (DRAM run, NVM run);
+    #: e.g. (200, 100) is the paper's Pattern-4.
+    pattern: tuple[int, int] = (200, 100)
+    #: Array sizes; must dwarf the LLC (every access misses).
+    dram_array_bytes: int = 4096 * MIB
+    nvm_array_bytes: int = 4096 * MIB
+
+    def __post_init__(self) -> None:
+        if self.dram_elements < 0 or self.nvm_elements < 0:
+            raise WorkloadError("element counts cannot be negative")
+        if self.dram_elements + self.nvm_elements == 0:
+            raise WorkloadError("benchmark needs at least one access")
+        dram_run, nvm_run = self.pattern
+        if dram_run <= 0 or nvm_run <= 0:
+            raise WorkloadError(f"pattern runs must be positive: {self.pattern}")
+        if min(self.dram_array_bytes, self.nvm_array_bytes) < 64 * MIB:
+            raise WorkloadError("arrays must be much larger than the LLC")
+
+
+@dataclass
+class MultiLatResult:
+    """Output of one MultiLat run."""
+
+    config: MultiLatConfig
+    elapsed_ns: float
+
+    def expected_completion_ns(
+        self, dram_latency_ns: float, nvm_latency_ns: float
+    ) -> float:
+        """The Section 4.6 closed form: CT = N_D*lat_D + N_N*lat_N."""
+        return (
+            self.config.dram_elements * dram_latency_ns
+            + self.config.nvm_elements * nvm_latency_ns
+        )
+
+    def emulation_error(
+        self, dram_latency_ns: float, nvm_latency_ns: float
+    ) -> float:
+        """Relative error vs. the closed-form expectation."""
+        expected = self.expected_completion_ns(dram_latency_ns, nvm_latency_ns)
+        return abs(self.elapsed_ns - expected) / expected
+
+
+def multilat_body(config: MultiLatConfig, out: dict):
+    """Workload body factory; the result lands in ``out['result']``."""
+
+    def body(ctx):
+        dram = ctx.malloc(
+            config.dram_array_bytes, page_size=PageSize.HUGE_2M, label="multilat-dram"
+        )
+        nvm = ctx.pmalloc(
+            config.nvm_array_bytes, page_size=PageSize.HUGE_2M, label="multilat-nvm"
+        )
+        dram_left = config.dram_elements
+        nvm_left = config.nvm_elements
+        dram_run, nvm_run = config.pattern
+        start = ctx.now_ns
+        while dram_left > 0 or nvm_left > 0:
+            if dram_left > 0:
+                burst = min(dram_run, dram_left)
+                dram_left -= burst
+                yield MemBatch(
+                    dram, burst, PatternKind.CHASE, label="multilat-dram"
+                )
+            if nvm_left > 0:
+                burst = min(nvm_run, nvm_left)
+                nvm_left -= burst
+                yield MemBatch(nvm, burst, PatternKind.CHASE, label="multilat-nvm")
+        out["result"] = MultiLatResult(
+            config=config, elapsed_ns=ctx.now_ns - start
+        )
+        return out["result"]
+
+    return body

@@ -1,0 +1,158 @@
+"""The STREAM benchmark kernels (Figure 8 uses *copy*).
+
+All four classic kernels are available; each is modelled as one fused
+non-temporal store stream whose DRAM traffic covers every array the
+kernel touches (they overlap in hardware):
+
+* ``copy``:  ``c[i] = a[i]``            — 2 arrays, no arithmetic;
+* ``scale``: ``b[i] = q * c[i]``        — 2 arrays, 1 multiply;
+* ``add``:   ``c[i] = a[i] + b[i]``     — 3 arrays, 1 add;
+* ``triad``: ``a[i] = b[i] + q * c[i]`` — 3 arrays, multiply-add.
+
+Reported bandwidth counts the bytes of every array touched per element,
+exactly as STREAM does.  The work is forked across several threads so
+the memory controller saturates — matching the paper's SSE-streaming
+bandwidth helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.ops import JoinThread, MemBatch, PatternKind, SpawnThread
+from repro.units import CACHE_LINE_BYTES, MIB
+
+#: kernel name -> (arrays touched, arithmetic cycles per element).
+STREAM_KERNELS: dict[str, tuple[int, float]] = {
+    "copy": (2, 0.0),
+    "scale": (2, 0.5),
+    "add": (3, 0.5),
+    "triad": (3, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Parameters of one STREAM run."""
+
+    #: Size of each array.
+    array_bytes: int = 256 * MIB
+    #: Worker threads splitting the arrays.
+    threads: int = 4
+    #: Passes over the arrays.
+    passes: int = 1
+    #: Which STREAM kernel to run.
+    kernel: str = "copy"
+    #: Loop/index work per 8-byte element; bounds a single thread's
+    #: attainable bandwidth below the controller peak (the plateau of
+    #: Figure 8 sits at the *application's* maximum, not the machine's).
+    compute_cycles_per_element: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.array_bytes < MIB:
+            raise WorkloadError(f"array too small: {self.array_bytes}")
+        if self.threads < 1:
+            raise WorkloadError(f"need at least one thread: {self.threads}")
+        if self.passes < 1:
+            raise WorkloadError(f"need at least one pass: {self.passes}")
+        if self.kernel not in STREAM_KERNELS:
+            raise WorkloadError(
+                f"unknown STREAM kernel {self.kernel!r}; "
+                f"known: {sorted(STREAM_KERNELS)}"
+            )
+
+    @property
+    def arrays_touched(self) -> int:
+        """Arrays the kernel reads or writes per element."""
+        return STREAM_KERNELS[self.kernel][0]
+
+    @property
+    def arithmetic_cycles(self) -> float:
+        """FLOP work per element on top of the loop overhead."""
+        return STREAM_KERNELS[self.kernel][1]
+
+
+@dataclass
+class StreamResult:
+    """Output of one STREAM run."""
+
+    config: StreamConfig
+    elapsed_ns: float
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total traffic: every touched array, every pass."""
+        return (
+            self.config.arrays_touched
+            * self.config.array_bytes
+            * self.config.passes
+        )
+
+    @property
+    def bandwidth_bytes_per_ns(self) -> float:
+        """Achieved copy bandwidth (bytes/ns == GB/s)."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.bytes_moved / self.elapsed_ns
+
+
+def _worker_body(ctx, destination, chunk_bytes, passes, compute_cycles,
+                 arrays_touched, kernel):
+    elements = chunk_bytes // 8
+    for _ in range(passes):
+        # One fused loop per pass: a non-temporal store stream whose DRAM
+        # traffic covers every array the kernel touches (source reads
+        # overlap the destination writes in hardware, so modelling them
+        # as one flow keeps the Figure 8 knee sharp).
+        yield MemBatch(
+            destination,
+            accesses=elements,
+            pattern=PatternKind.SEQUENTIAL,
+            stride_bytes=8,
+            footprint_bytes=chunk_bytes,
+            compute_cycles_per_access=compute_cycles,
+            is_store=True,
+            non_temporal=True,
+            dram_bytes_multiplier=float(arrays_touched),
+            label=f"stream-{kernel}",
+        )
+
+
+def stream_main_body(config: StreamConfig, out: dict):
+    """Main-thread body: forks workers, times the copy, fills ``out``."""
+
+    def body(ctx):
+        chunk = _align_down(config.array_bytes // config.threads)
+        if chunk == 0:
+            raise WorkloadError("array too small for the thread count")
+        destinations = [
+            ctx.malloc(chunk, label=f"stream-dst{index}")
+            for index in range(config.threads)
+        ]
+        compute = config.compute_cycles_per_element + config.arithmetic_cycles
+        start = ctx.now_ns
+        workers = []
+        for index in range(config.threads):
+            workers.append(
+                (
+                    yield SpawnThread(
+                        _worker_body,
+                        name=f"stream{index}",
+                        args=(
+                            destinations[index], chunk, config.passes,
+                            compute, config.arrays_touched, config.kernel,
+                        ),
+                    )
+                )
+            )
+        for worker in workers:
+            yield JoinThread(worker)
+        out["result"] = StreamResult(config=config, elapsed_ns=ctx.now_ns - start)
+        return out["result"]
+
+    return body
+
+
+def _align_down(value: int) -> int:
+    return value // CACHE_LINE_BYTES * CACHE_LINE_BYTES

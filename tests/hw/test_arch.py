@@ -1,0 +1,86 @@
+"""Tests for architecture specs: Table 1 events and Table 2 latencies."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.hw import ALL_ARCHS, HASWELL, IVY_BRIDGE, SANDY_BRIDGE, arch_by_name
+
+
+def test_three_testbeds_in_paper_order():
+    assert [a.name for a in ALL_ARCHS] == ["sandy-bridge", "ivy-bridge", "haswell"]
+
+
+def test_table2_latencies_match_paper():
+    # Table 2, average columns.
+    assert SANDY_BRIDGE.dram_local.avg_ns == 97.0
+    assert SANDY_BRIDGE.dram_remote.avg_ns == 163.0
+    assert IVY_BRIDGE.dram_local.avg_ns == 87.0
+    assert IVY_BRIDGE.dram_remote.avg_ns == 176.0
+    assert HASWELL.dram_local.avg_ns == 120.0
+    assert HASWELL.dram_remote.avg_ns == 175.0
+
+
+def test_table2_min_max_ranges():
+    assert (SANDY_BRIDGE.dram_remote.min_ns, SANDY_BRIDGE.dram_remote.max_ns) == (158.0, 165.0)
+    assert (IVY_BRIDGE.dram_remote.min_ns, IVY_BRIDGE.dram_remote.max_ns) == (172.0, 185.0)
+    assert (HASWELL.dram_local.min_ns, HASWELL.dram_local.max_ns) == (120.0, 120.0)
+
+
+def test_section41_frequencies_and_core_counts():
+    assert SANDY_BRIDGE.freq_ghz == 2.1 and SANDY_BRIDGE.total_cores == 16
+    assert IVY_BRIDGE.freq_ghz == 2.2 and IVY_BRIDGE.total_cores == 20
+    assert HASWELL.freq_ghz == 2.3 and HASWELL.total_cores == 20
+
+
+def test_table1_sandy_bridge_events():
+    events = SANDY_BRIDGE.counter_events
+    assert events.l2_stalls == "CYCLE_ACTIVITY:STALLS_L2_PENDING"
+    assert events.l3_hit == "MEM_LOAD_UOPS_RETIRED:L3_HIT"
+    assert events.l3_miss_combined == "MEM_LOAD_UOPS_MISC_RETIRED:LLC_MISS"
+    assert not events.has_local_remote_split
+
+
+def test_table1_ivy_bridge_events():
+    events = IVY_BRIDGE.counter_events
+    assert events.l3_hit == "MEM_LOAD_UOPS_LLC_HIT_RETIRED:XSNP_NONE"
+    assert events.l3_miss_local == "MEM_LOAD_UOPS_LLC_MISS_RETIRED:LOCAL_DRAM"
+    assert events.l3_miss_remote == "MEM_LOAD_UOPS_LLC_MISS_RETIRED:REMOTE_DRAM"
+    assert events.has_local_remote_split
+
+
+def test_table1_haswell_events_renamed_llc_to_l3():
+    events = HASWELL.counter_events
+    assert events.l3_hit == "MEM_LOAD_UOPS_L3_HIT_RETIRED:XSNP_NONE"
+    assert events.l3_miss_local == "MEM_LOAD_UOPS_L3_MISS_RETIRED:LOCAL_DRAM"
+    assert events.has_local_remote_split
+
+
+def test_sandy_bridge_cannot_split_local_remote():
+    with pytest.raises(UnsupportedFeatureError):
+        SANDY_BRIDGE.require_local_remote_counters()
+    IVY_BRIDGE.require_local_remote_counters()
+    HASWELL.require_local_remote_counters()
+
+
+def test_arch_lookup_by_name_and_alias():
+    assert arch_by_name("ivy-bridge") is IVY_BRIDGE
+    assert arch_by_name("IvyBridge") is IVY_BRIDGE
+    assert arch_by_name("sandy") is SANDY_BRIDGE
+    assert arch_by_name("hsw") is HASWELL
+    with pytest.raises(KeyError):
+        arch_by_name("skylake")
+
+
+def test_counter_fidelity_orders_families_as_footnote6():
+    # Sandy Bridge counters are the least reliable, Ivy Bridge the most.
+    assert (
+        SANDY_BRIDGE.counter_fidelity.bias_sigma
+        > HASWELL.counter_fidelity.bias_sigma
+        > IVY_BRIDGE.counter_fidelity.bias_sigma
+    )
+
+
+def test_clock_domain_conversions():
+    clock = IVY_BRIDGE.clock
+    assert clock.ns_to_cycles(10.0) == pytest.approx(22.0)
+    assert clock.cycles_to_ns(22.0) == pytest.approx(10.0)

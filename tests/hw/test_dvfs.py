@@ -1,0 +1,42 @@
+"""Tests for the DVFS governor."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.dvfs import DvfsGovernor
+
+
+def test_disabled_governor_pins_nominal_frequency():
+    governor = DvfsGovernor(nominal_ghz=2.2)
+    governor.disable()
+    for t in [0.0, 1e6, 5e7]:
+        assert governor.frequency_ghz(0, t) == 2.2
+
+
+def test_enabled_governor_wanders_below_nominal():
+    governor = DvfsGovernor(nominal_ghz=2.2, depth=0.2, period_ns=1000.0)
+    governor.enable()
+    samples = [governor.frequency_ghz(0, t) for t in range(0, 2000, 50)]
+    assert all(2.2 * 0.8 - 1e-9 <= f <= 2.2 + 1e-9 for f in samples)
+    assert min(samples) < 2.2 * 0.9  # actually dips
+
+
+def test_phases_differ_per_core():
+    governor = DvfsGovernor(nominal_ghz=2.0, depth=0.2, period_ns=1000.0)
+    governor.enable()
+    assert governor.frequency_ghz(0, 100.0) != governor.frequency_ghz(1, 100.0)
+
+
+def test_deterministic():
+    a = DvfsGovernor(2.0, depth=0.1)
+    b = DvfsGovernor(2.0, depth=0.1)
+    a.enable()
+    b.enable()
+    assert a.frequency_ghz(3, 12345.0) == b.frequency_ghz(3, 12345.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(HardwareError):
+        DvfsGovernor(2.0, depth=1.0)
+    with pytest.raises(HardwareError):
+        DvfsGovernor(2.0, period_ns=0.0)

@@ -1,0 +1,174 @@
+"""Tests for hardware extensions: asymmetric throttling, loaded latency."""
+
+import pytest
+
+from repro.errors import HardwareError, UnsupportedFeatureError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.hw.memory import THROTTLE_REGISTER_MAX, MemoryController
+from repro.hw.topology import PageSize
+from repro.ops import MemBatch, PatternKind
+from repro.os import SimOS
+from repro.sim import Simulator
+from repro.units import GIB, MIB
+
+
+# ----------------------------------------------------------------------
+# Asymmetric read/write throttling
+# ----------------------------------------------------------------------
+def make_controller(rw=True, peak=10.0):
+    sim = Simulator(seed=1)
+    return sim, MemoryController(
+        sim, node=0, peak_bw_bytes_per_ns=peak, channels=4,
+        rw_throttle_supported=rw,
+    )
+
+
+def test_rw_registers_unavailable_on_paper_era_parts():
+    """Footnote 2: the registers exist in the manuals but do not work."""
+    _, ctrl = make_controller(rw=False)
+    with pytest.raises(UnsupportedFeatureError, match="footnote 2"):
+        ctrl.program_rw_throttle_registers(100, 100, privileged=True)
+
+
+def test_rw_registers_require_privilege():
+    _, ctrl = make_controller(rw=True)
+    with pytest.raises(HardwareError, match="privileged"):
+        ctrl.program_rw_throttle_registers(100, 100, privileged=False)
+
+
+def test_rw_registers_range_checked():
+    _, ctrl = make_controller(rw=True)
+    with pytest.raises(HardwareError):
+        ctrl.program_rw_throttle_registers(
+            THROTTLE_REGISTER_MAX + 1, 0, privileged=True
+        )
+
+
+def test_read_flows_capped_by_read_register():
+    sim, ctrl = make_controller(rw=True, peak=10.0)
+    half = (THROTTLE_REGISTER_MAX + 1) // 2 - 1
+    ctrl.program_rw_throttle_registers(half, THROTTLE_REGISTER_MAX,
+                                       privileged=True)
+    read = ctrl.submit(1000.0, rate_cap=100.0, kind="read")
+    sim.run_until_condition(lambda: read.done.fired)
+    assert sim.now == pytest.approx(200.0)  # 5 B/ns read cap
+
+
+def test_write_flows_capped_by_write_register():
+    sim, ctrl = make_controller(rw=True, peak=10.0)
+    quarter = (THROTTLE_REGISTER_MAX + 1) // 4 - 1
+    ctrl.program_rw_throttle_registers(THROTTLE_REGISTER_MAX, quarter,
+                                       privileged=True)
+    write = ctrl.submit(1000.0, rate_cap=100.0, kind="write")
+    sim.run_until_condition(lambda: write.done.fired)
+    assert sim.now == pytest.approx(400.0)  # 2.5 B/ns write cap
+
+
+def test_reads_and_writes_share_within_combined_cap():
+    sim, ctrl = make_controller(rw=True, peak=10.0)
+    # Read register allows 8, write allows 8, combined allows 10.
+    register_80 = round((THROTTLE_REGISTER_MAX + 1) * 0.8) - 1
+    ctrl.program_rw_throttle_registers(register_80, register_80,
+                                       privileged=True)
+    read = ctrl.submit(2000.0, rate_cap=100.0, kind="read")
+    write = ctrl.submit(2000.0, rate_cap=100.0, kind="write")
+    sim.run_until_condition(lambda: read.done.fired and write.done.fired)
+    # Combined 10 B/ns binds: 4000 bytes -> 400 ns.
+    assert sim.now == pytest.approx(400.0, rel=0.02)
+
+
+def test_asymmetric_read_faster_than_write():
+    """The Section 2.1 motivation: NVM reads outpace writes."""
+    sim, ctrl = make_controller(rw=True, peak=10.0)
+    read_register = round((THROTTLE_REGISTER_MAX + 1) * 0.6) - 1   # 6 B/ns
+    write_register = round((THROTTLE_REGISTER_MAX + 1) * 0.2) - 1  # 2 B/ns
+    ctrl.program_rw_throttle_registers(read_register, write_register,
+                                       privileged=True)
+    read = ctrl.submit(3000.0, rate_cap=100.0, kind="read")
+    write = ctrl.submit(3000.0, rate_cap=100.0, kind="write")
+    sim.run_until_condition(lambda: read.done.fired)
+    read_done = sim.now
+    sim.run_until_condition(lambda: write.done.fired)
+    write_done = sim.now
+    assert read_done < write_done
+    assert write_done == pytest.approx(1500.0, rel=0.02)  # 3000 B at 2 B/ns
+
+
+def test_flow_kind_validation():
+    sim, ctrl = make_controller()
+    with pytest.raises(HardwareError):
+        ctrl.submit(10.0, rate_cap=1.0, kind="readwrite")
+
+
+def test_default_registers_leave_behavior_unchanged():
+    sim, ctrl = make_controller(rw=True, peak=10.0)
+    flow = ctrl.submit(1000.0, rate_cap=100.0, kind="read")
+    sim.run_until_condition(lambda: flow.done.fired)
+    assert sim.now == pytest.approx(100.0)
+
+
+# ----------------------------------------------------------------------
+# Loaded latency (Section 6 discussion)
+# ----------------------------------------------------------------------
+def chase_latency(machine):
+    os = SimOS(machine)
+    out = {}
+
+    def body(ctx):
+        region = ctx.malloc(4 * GIB, page_size=PageSize.HUGE_2M)
+        start = ctx.now_ns
+        yield MemBatch(region, 20_000, PatternKind.CHASE)
+        out["latency"] = (ctx.now_ns - start) / 20_000
+
+    def streamer(ctx):
+        region = ctx.malloc(512 * MIB)
+        while True:
+            yield MemBatch(
+                region,
+                accesses=region.size_bytes // 8,
+                pattern=PatternKind.SEQUENTIAL,
+                stride_bytes=8,
+                is_store=True,
+                non_temporal=True,
+            )
+
+    os.create_thread(streamer, name="background-load", daemon=True)
+    os.create_thread(body, name="probe")
+    os.run_to_completion()
+    return out["latency"]
+
+
+def test_loaded_latency_disabled_by_default():
+    machine = Machine(Simulator(seed=1), IVY_BRIDGE)
+    assert machine.loaded_latency_alpha == 0.0
+    assert chase_latency(machine) == pytest.approx(87.0, rel=0.02)
+
+
+def test_loaded_latency_rises_under_contention():
+    loaded = Machine(Simulator(seed=1), IVY_BRIDGE, loaded_latency_alpha=0.5)
+    latency = chase_latency(loaded)
+    # The saturating streamer drives utilization toward 1: latency should
+    # approach 87 * 1.5.
+    assert latency > 87.0 * 1.3
+
+
+def test_loaded_latency_unloaded_machine_unchanged():
+    machine = Machine(Simulator(seed=1), IVY_BRIDGE, loaded_latency_alpha=0.5)
+    os = SimOS(machine)
+    out = {}
+
+    def body(ctx):
+        region = ctx.malloc(4 * GIB, page_size=PageSize.HUGE_2M)
+        start = ctx.now_ns
+        yield MemBatch(region, 20_000, PatternKind.CHASE)
+        out["latency"] = (ctx.now_ns - start) / 20_000
+
+    os.create_thread(body)
+    os.run_to_completion()
+    # A lone latency-bound chase barely utilizes the controller.
+    assert out["latency"] == pytest.approx(87.0, rel=0.1)
+
+
+def test_negative_alpha_rejected():
+    with pytest.raises(HardwareError):
+        Machine(Simulator(seed=1), IVY_BRIDGE, loaded_latency_alpha=-1.0)

@@ -1,0 +1,107 @@
+"""Tests for machine assembly and topology wiring."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw import ALL_ARCHS, IVY_BRIDGE, SANDY_BRIDGE, Machine
+from repro.sim import Simulator
+from repro.units import GIB, MIB
+
+
+def make_machine(arch=IVY_BRIDGE, **kwargs):
+    return Machine(Simulator(seed=5), arch, **kwargs)
+
+
+@pytest.mark.parametrize("arch", ALL_ARCHS, ids=lambda a: a.name)
+def test_logical_core_inventory(arch):
+    machine = Machine(Simulator(seed=1), arch)
+    expected = arch.sockets * arch.cores_per_socket * arch.smt
+    assert len(machine.cores) == expected
+    assert len(machine.pmcs) == expected
+    assert machine.logical_cores_per_socket == arch.cores_per_socket * arch.smt
+
+
+def test_core_socket_assignment():
+    machine = make_machine()
+    per_socket = machine.logical_cores_per_socket
+    assert machine.core(0).socket == 0
+    assert machine.core(per_socket - 1).socket == 0
+    assert machine.core(per_socket).socket == 1
+
+
+def test_physical_core_mapping_wraps_hyperthreads():
+    machine = make_machine()
+    physical = IVY_BRIDGE.cores_per_socket
+    assert machine.physical_core_of(0) == 0
+    assert machine.physical_core_of(physical) == 0  # second HT context
+    assert machine.physical_core_of(1) == 1
+    # Second socket restarts the mapping.
+    assert machine.physical_core_of(machine.logical_cores_per_socket) == 0
+
+
+def test_cores_of_socket_partition():
+    machine = make_machine()
+    socket0 = machine.cores_of_socket(0)
+    socket1 = machine.cores_of_socket(1)
+    assert len(socket0) == len(socket1) == machine.logical_cores_per_socket
+    assert not set(id(c) for c in socket0) & set(id(c) for c in socket1)
+
+
+def test_one_controller_and_node_per_socket():
+    machine = make_machine()
+    assert len(machine.controllers) == IVY_BRIDGE.sockets
+    assert len(machine.nodes) == IVY_BRIDGE.sockets
+    assert machine.controller(1).node == 1
+
+
+def test_allocate_validates_node():
+    machine = make_machine()
+    with pytest.raises(HardwareError, match="no such NUMA node"):
+        machine.allocate(MIB, node=7)
+
+
+def test_allocate_and_free_roundtrip():
+    machine = make_machine()
+    region = machine.allocate(MIB, node=1, label="x")
+    assert region.node == 1
+    machine.free(region)
+    assert region.freed
+
+
+def test_latency_without_jitter_is_table2_average():
+    machine = make_machine()
+    assert machine.dram_latency_ns(0, 0) == IVY_BRIDGE.dram_local.avg_ns
+    assert machine.dram_latency_ns(0, 1) == IVY_BRIDGE.dram_remote.avg_ns
+    assert machine.dram_latency_ns(1, 1) == IVY_BRIDGE.dram_local.avg_ns
+
+
+def test_latency_jitter_stays_inside_table2_ranges():
+    for seed in range(10):
+        machine = Machine(Simulator(seed=seed), SANDY_BRIDGE,
+                          latency_jitter=True)
+        local = machine.dram_latency_ns(0, 0)
+        remote = machine.dram_latency_ns(0, 1)
+        assert SANDY_BRIDGE.dram_local.min_ns <= local <= SANDY_BRIDGE.dram_local.max_ns
+        assert SANDY_BRIDGE.dram_remote.min_ns <= remote <= SANDY_BRIDGE.dram_remote.max_ns
+
+
+def test_dvfs_starts_disabled():
+    machine = make_machine()
+    assert machine.dvfs.enabled is False
+    assert machine.dvfs.nominal_ghz == IVY_BRIDGE.freq_ghz
+
+
+def test_dram_capacity_configurable():
+    machine = Machine(Simulator(seed=1), IVY_BRIDGE, dram_per_node_bytes=GIB)
+    machine.allocate(GIB // 2, node=0)
+    with pytest.raises(HardwareError, match="out of memory"):
+        machine.allocate(GIB, node=0)
+
+
+def test_set_llc_sharers_validation():
+    machine = make_machine()
+    with pytest.raises(HardwareError):
+        machine.set_llc_sharers(0, 0)
+    machine.set_llc_sharers(0, 4)
+    assert machine.cache_model(0).llc_sharers == 4
+    assert machine.cache_model(1).llc_sharers == 1

@@ -1,0 +1,92 @@
+"""Tests for NUMA memory regions and the node address space."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.topology import MemoryRegion, NodeAddressSpace, PageSize
+from repro.units import MIB
+
+
+def make_space(node=0, capacity=1024 * MIB):
+    return NodeAddressSpace(node, capacity)
+
+
+def test_allocation_is_line_aligned_and_node_tagged():
+    space = make_space(node=1)
+    region = space.allocate(1000, label="x")
+    assert region.node == 1
+    assert region.base % 64 == 0
+    assert NodeAddressSpace.node_of_address(region.base) == 1
+
+
+def test_allocations_do_not_overlap():
+    space = make_space()
+    a = space.allocate(100)
+    b = space.allocate(100)
+    assert a.end <= b.base
+
+
+def test_hugepage_allocation_is_page_aligned():
+    space = make_space()
+    space.allocate(100)
+    region = space.allocate(4 * MIB, page_size=PageSize.HUGE_2M)
+    assert region.base % int(PageSize.HUGE_2M) == 0
+    assert region.pages() == 2
+
+
+def test_out_of_memory():
+    space = make_space(capacity=1 * MIB)
+    space.allocate(MIB // 2)
+    with pytest.raises(HardwareError, match="out of memory"):
+        space.allocate(MIB)
+
+
+def test_free_returns_capacity_accounting():
+    space = make_space(capacity=1 * MIB)
+    region = space.allocate(MIB // 2)
+    space.free(region)
+    assert space.allocated_bytes == 0
+    space.allocate(MIB // 2)  # fits again
+
+
+def test_double_free_rejected():
+    space = make_space()
+    region = space.allocate(128)
+    space.free(region)
+    with pytest.raises(HardwareError, match="double free"):
+        space.free(region)
+
+
+def test_use_after_free_detected():
+    space = make_space()
+    region = space.allocate(128)
+    space.free(region)
+    with pytest.raises(HardwareError, match="use after free"):
+        region.require_live()
+
+
+def test_free_on_wrong_node_rejected():
+    space0 = make_space(node=0)
+    space1 = make_space(node=1)
+    region = space0.allocate(128)
+    with pytest.raises(HardwareError):
+        space1.free(region)
+
+
+def test_zero_and_negative_sizes_rejected():
+    space = make_space()
+    with pytest.raises(HardwareError):
+        space.allocate(0)
+    with pytest.raises(HardwareError):
+        space.allocate(-5)
+
+
+def test_region_line_count_rounds_up():
+    region = MemoryRegion(node=0, size_bytes=65, base=0)
+    assert region.lines == 2
+
+
+def test_addresses_of_distinct_nodes_never_collide():
+    a = make_space(node=0).allocate(MIB)
+    b = make_space(node=1).allocate(MIB)
+    assert a.end <= b.base or b.end <= a.base

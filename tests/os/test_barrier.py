@@ -1,0 +1,135 @@
+"""Tests for the cyclic barrier (the OpenMP-primitive extension)."""
+
+import pytest
+
+from repro.errors import OsError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.ops import BarrierWait, Compute, Sleep, Spin
+from repro.os import Barrier, SimOS, Signal
+from repro.sim import Simulator
+
+
+def make_os():
+    return SimOS(Machine(Simulator(seed=1), IVY_BRIDGE))
+
+
+def test_barrier_releases_all_parties_together():
+    os = make_os()
+    barrier = Barrier(os, parties=3)
+    released = []
+
+    def body(ctx, delay):
+        yield Sleep(delay)
+        generation = yield BarrierWait(barrier)
+        released.append((ctx.now_ns, generation))
+
+    for delay in (100.0, 500.0, 900.0):
+        os.create_thread(body, args=(delay,))
+    os.run_to_completion()
+    times = [t for t, _ in released]
+    assert all(t == pytest.approx(900.0) for t in times)
+    assert all(generation == 1 for _, generation in released)
+
+
+def test_barrier_is_cyclic():
+    os = make_os()
+    barrier = Barrier(os, parties=2)
+    generations = []
+
+    def body(ctx):
+        for _ in range(3):
+            yield Compute(220.0)
+            generation = yield BarrierWait(barrier)
+            generations.append(generation)
+
+    os.create_thread(body)
+    os.create_thread(body)
+    os.run_to_completion()
+    assert sorted(generations) == [1, 1, 2, 2, 3, 3]
+
+
+def test_single_party_barrier_never_blocks():
+    os = make_os()
+    barrier = Barrier(os, parties=1)
+
+    def body(ctx):
+        for _ in range(5):
+            yield BarrierWait(barrier)
+
+    os.create_thread(body)
+    os.run_to_completion()
+    assert barrier.generation == 5
+
+
+def test_slowest_thread_gates_the_barrier():
+    os = make_os()
+    barrier = Barrier(os, parties=2)
+    out = {}
+
+    def fast(ctx):
+        yield BarrierWait(barrier)
+        out["fast_released"] = ctx.now_ns
+
+    def slow(ctx):
+        yield Compute(2.2e6)  # 1 ms
+        yield BarrierWait(barrier)
+
+    os.create_thread(fast)
+    os.create_thread(slow)
+    os.run_to_completion()
+    assert out["fast_released"] == pytest.approx(1e6)
+
+
+def test_barrier_reentry_detected():
+    # A thread arriving twice in one generation is a bug in the workload.
+    os = make_os()
+    barrier = Barrier(os, parties=3)
+
+    def body(ctx):
+        yield BarrierWait(barrier)
+
+    def cheat(ctx):
+        # Direct second arrival while still registered: simulate by
+        # calling _wait twice interleaved.
+        yield BarrierWait(barrier)
+
+    os.create_thread(body)
+    # Manually register the same thread twice.
+    thread = os.create_thread(cheat)
+    os.sim.run(until_ns=1.0)
+    with pytest.raises(OsError):
+        list(barrier._wait(thread))  # already waiting
+
+
+def test_barrier_parties_validation():
+    os = make_os()
+    with pytest.raises(OsError):
+        Barrier(os, parties=0)
+
+
+def test_signal_during_barrier_wait_is_survivable():
+    os = make_os()
+    barrier = Barrier(os, parties=2)
+    log = []
+
+    def handler(thread, signal):
+        log.append("handler")
+        yield Spin(10.0)
+
+    os.signal_handlers[40] = handler
+
+    def waiter(ctx):
+        yield BarrierWait(barrier)
+        log.append(("released", ctx.now_ns))
+
+    def late(ctx):
+        yield Sleep(100_000.0)
+        yield BarrierWait(barrier)
+
+    waiting = os.create_thread(waiter)
+    os.create_thread(late)
+    os.sim.schedule(50_000.0, lambda: os.post_signal(waiting, Signal(40)))
+    os.run_to_completion()
+    assert "handler" in log
+    released = [entry for entry in log if isinstance(entry, tuple)]
+    assert released and released[0][1] >= 100_000.0

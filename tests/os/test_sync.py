@@ -1,0 +1,279 @@
+"""Tests for mutexes, condition variables, and delay propagation."""
+
+import pytest
+
+from repro.errors import DeadlockError, OsError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.ops import (
+    Compute,
+    CondNotify,
+    CondWait,
+    JoinThread,
+    MutexLock,
+    MutexUnlock,
+    Sleep,
+    Spin,
+    SpawnThread,
+)
+from repro.os import Mutex, SimOS
+from repro.sim import Simulator
+
+
+def make_os():
+    sim = Simulator(seed=1)
+    return SimOS(Machine(sim, IVY_BRIDGE))
+
+
+def test_mutex_provides_mutual_exclusion():
+    os = make_os()
+    mutex = Mutex(os)
+    trace = []
+
+    def body(ctx, tag):
+        yield MutexLock(mutex)
+        trace.append((tag, "in", ctx.now_ns))
+        yield Compute(2200.0)  # 1000 ns inside the critical section
+        trace.append((tag, "out", ctx.now_ns))
+        yield MutexUnlock(mutex)
+
+    os.create_thread(body, args=("a",))
+    os.create_thread(body, args=("b",))
+    os.run_to_completion()
+    # Critical sections must not overlap.
+    assert trace[0][:2] == ("a", "in")
+    assert trace[1][:2] == ("a", "out")
+    assert trace[2][:2] == ("b", "in")
+    assert trace[2][2] >= trace[1][2]
+
+
+def test_mutex_fifo_handoff():
+    os = make_os()
+    mutex = Mutex(os)
+    order = []
+
+    def holder(ctx):
+        yield MutexLock(mutex)
+        yield Compute(22000.0)
+        yield MutexUnlock(mutex)
+
+    def waiter(ctx, tag, delay):
+        yield Sleep(delay)
+        yield MutexLock(mutex)
+        order.append(tag)
+        yield MutexUnlock(mutex)
+
+    os.create_thread(holder)
+    os.create_thread(waiter, args=("first", 100.0))
+    os.create_thread(waiter, args=("second", 200.0))
+    os.create_thread(waiter, args=("third", 300.0))
+    os.run_to_completion()
+    assert order == ["first", "second", "third"]
+
+
+def test_delay_before_unlock_propagates_to_waiter():
+    """The Figure 4(b) property: a holder's pre-release delay pushes the
+    waiting thread's acquisition out by the same amount."""
+    os = make_os()
+    mutex = Mutex(os)
+    acquired_at = {}
+
+    def holder(ctx, spin_ns):
+        yield MutexLock(mutex)
+        yield Compute(2200.0)
+        if spin_ns:
+            yield Spin(spin_ns)  # delay injected inside the critical section
+        yield MutexUnlock(mutex)
+
+    def waiter(ctx):
+        yield Sleep(10.0)  # ensure the holder grabs the lock first
+        yield MutexLock(mutex)
+        acquired_at["t"] = ctx.now_ns
+        yield MutexUnlock(mutex)
+
+    os.create_thread(holder, args=(0.0,))
+    os.create_thread(waiter)
+    os.run_to_completion()
+    baseline = acquired_at["t"]
+
+    os2 = make_os()
+    mutex2 = Mutex(os2)
+    acquired_at2 = {}
+
+    def waiter2(ctx):
+        yield Sleep(10.0)
+        yield MutexLock(mutex2)
+        acquired_at2["t"] = ctx.now_ns
+        yield MutexUnlock(mutex2)
+
+    os2.create_thread(holder.__wrapped__ if hasattr(holder, "__wrapped__") else holder, args=(5000.0,))
+    # rebind mutex for second run
+    def holder2(ctx, spin_ns):
+        yield MutexLock(mutex2)
+        yield Compute(2200.0)
+        yield Spin(spin_ns)
+        yield MutexUnlock(mutex2)
+
+    os2.threads.clear()
+    os2.create_thread(holder2, args=(5000.0,))
+    os2.create_thread(waiter2)
+    os2.run_to_completion()
+    assert acquired_at2["t"] - baseline == pytest.approx(5000.0)
+
+
+def test_unlock_by_non_owner_rejected():
+    os = make_os()
+    mutex = Mutex(os)
+
+    def locker(ctx):
+        yield MutexLock(mutex)
+        yield Sleep(1000.0)
+
+    def intruder(ctx):
+        yield Sleep(100.0)
+        yield MutexUnlock(mutex)
+
+    os.create_thread(locker)
+    os.create_thread(intruder)
+    with pytest.raises(OsError, match="unlocking"):
+        os.run_to_completion()
+
+
+def test_self_deadlock_detected():
+    os = make_os()
+    mutex = Mutex(os)
+
+    def body(ctx):
+        yield MutexLock(mutex)
+        yield MutexLock(mutex)
+
+    os.create_thread(body)
+    with pytest.raises(OsError, match="self-deadlock"):
+        os.run_to_completion()
+
+
+def test_deadlock_reported_when_lock_never_released():
+    os = make_os()
+    mutex = Mutex(os)
+
+    def holder(ctx):
+        yield MutexLock(mutex)
+        return "kept it"
+
+    def waiter(ctx):
+        yield Sleep(10.0)
+        yield MutexLock(mutex)
+
+    os.create_thread(holder)
+    os.create_thread(waiter)
+    with pytest.raises(DeadlockError):
+        os.run_to_completion()
+
+
+def test_mutex_contention_stats():
+    os = make_os()
+    mutex = Mutex(os)
+
+    def body(ctx):
+        for _ in range(5):
+            yield MutexLock(mutex)
+            yield Compute(2200.0)
+            yield MutexUnlock(mutex)
+
+    os.create_thread(body)
+    os.create_thread(body)
+    os.run_to_completion()
+    assert mutex.acquisitions == 10
+    assert mutex.contended_acquisitions >= 1
+
+
+def test_condvar_wait_notify():
+    os = make_os()
+    mutex = Mutex(os)
+    from repro.os import CondVar
+
+    cond = CondVar(os)
+    log = []
+
+    def consumer(ctx):
+        yield MutexLock(mutex)
+        yield CondWait(cond, mutex)
+        log.append(("woke", ctx.now_ns))
+        yield MutexUnlock(mutex)
+
+    def producer(ctx):
+        yield Sleep(500.0)
+        woken = yield CondNotify(cond)
+        log.append(("notified", woken))
+
+    os.create_thread(consumer)
+    os.create_thread(producer)
+    os.run_to_completion()
+    assert ("notified", 1) in log
+    woke = [entry for entry in log if entry[0] == "woke"]
+    assert woke and woke[0][1] >= 500.0
+
+
+def test_condvar_notify_all():
+    os = make_os()
+    mutex = Mutex(os)
+    from repro.os import CondVar
+
+    cond = CondVar(os)
+    woken = []
+
+    def consumer(ctx, tag):
+        yield MutexLock(mutex)
+        yield CondWait(cond, mutex)
+        woken.append(tag)
+        yield MutexUnlock(mutex)
+
+    def producer(ctx):
+        yield Sleep(500.0)
+        count = yield CondNotify(cond, notify_all=True)
+        return count
+
+    for tag in range(3):
+        os.create_thread(consumer, args=(tag,))
+    producer_thread = os.create_thread(producer)
+    os.run_to_completion()
+    assert sorted(woken) == [0, 1, 2]
+    assert producer_thread.result == 3
+
+
+def test_condvar_wait_without_mutex_rejected():
+    os = make_os()
+    mutex = Mutex(os)
+    from repro.os import CondVar
+
+    cond = CondVar(os)
+
+    def body(ctx):
+        yield CondWait(cond, mutex)
+
+    os.create_thread(body)
+    with pytest.raises(OsError, match="without holding"):
+        os.run_to_completion()
+
+
+def test_multithreaded_benchmark_shape_runs():
+    """N threads x K critical sections completes without deadlock."""
+    os = make_os()
+    mutex = Mutex(os)
+
+    def body(ctx):
+        for _ in range(50):
+            yield MutexLock(mutex)
+            yield Compute(220.0)
+            yield MutexUnlock(mutex)
+            yield Compute(220.0)
+
+    def main(ctx):
+        workers = []
+        for index in range(4):
+            workers.append((yield SpawnThread(body, name=f"w{index}")))
+        for worker in workers:
+            yield JoinThread(worker)
+
+    os.create_thread(main)
+    os.run_to_completion()
+    assert mutex.acquisitions == 200

@@ -1,0 +1,202 @@
+"""Edge-path tests for the OS dispatcher, hooks, and condvar notify."""
+
+import pytest
+
+from repro.hw import IVY_BRIDGE, Machine
+from repro.hw.topology import PageSize
+from repro.ops import (
+    Compute,
+    CondNotify,
+    CondWait,
+    Flush,
+    JoinThread,
+    MemBatch,
+    MutexLock,
+    MutexUnlock,
+    PatternKind,
+    Sleep,
+    Spin,
+    SpawnThread,
+)
+from repro.os import CondVar, Mutex, ORIGINAL, SimOS, Signal
+from repro.sim import Simulator
+from repro.units import GIB, MIB
+
+
+def make_os(seed=1):
+    return SimOS(Machine(Simulator(seed=seed), IVY_BRIDGE))
+
+
+def test_cond_notify_hook_wraps_the_wakeup():
+    os = make_os()
+    mutex = Mutex(os)
+    cond = CondVar(os)
+    trace = []
+
+    def notify_hook(sim_os, thread, op):
+        trace.append(("pre-notify", sim_os.sim.now))
+        yield Spin(2_000.0)
+        woken = yield ORIGINAL
+        trace.append(("post-notify", woken))
+        return woken
+
+    os.interpose.register_op_hook("pthread_cond_notify", notify_hook)
+
+    def consumer(ctx):
+        yield MutexLock(mutex)
+        yield CondWait(cond, mutex)
+        trace.append(("woke", ctx.now_ns))
+        yield MutexUnlock(mutex)
+
+    def producer(ctx):
+        yield Sleep(500.0)
+        yield CondNotify(cond)
+
+    os.create_thread(consumer)
+    os.create_thread(producer)
+    os.run_to_completion()
+    # The hook's pre-notify spin delays the wakeup.
+    woke = [entry for entry in trace if entry[0] == "woke"][0]
+    assert woke[1] >= 2_500.0
+    assert ("post-notify", 1) in trace
+
+
+def test_hook_return_value_propagates_to_workload():
+    os = make_os()
+
+    def create_hook(sim_os, thread, op):
+        new_thread = yield ORIGINAL
+        return new_thread  # explicit return overrides nothing but flows
+
+    os.interpose.register_op_hook("pthread_create", create_hook)
+    results = {}
+
+    def child(ctx):
+        yield Compute(220.0)
+        return "child-value"
+
+    def parent(ctx):
+        t = yield SpawnThread(child)
+        results["joined"] = yield JoinThread(t)
+
+    os.create_thread(parent)
+    os.run_to_completion()
+    assert results["joined"] == "child-value"
+
+
+def test_unregister_all_restores_raw_behavior():
+    os = make_os()
+    calls = []
+
+    def unlock_hook(sim_os, thread, op):
+        calls.append("hooked")
+        result = yield ORIGINAL
+        return result
+
+    os.interpose.register_op_hook("pthread_mutex_unlock", unlock_hook)
+    mutex = Mutex(os)
+
+    def body(ctx):
+        yield MutexLock(mutex)
+        yield MutexUnlock(mutex)
+
+    os.create_thread(body)
+    os.run_to_completion()
+    assert calls == ["hooked"]
+    os.interpose.unregister_all()
+    os.create_thread(body)
+    os.run_to_completion()
+    assert calls == ["hooked"]  # no second interception
+
+
+def test_signal_during_flush_resumes_remaining_lines():
+    os = make_os()
+    handled = []
+
+    def handler(thread, signal):
+        handled.append(os.sim.now)
+        yield Spin(50.0)
+
+    os.signal_handlers[41] = handler
+
+    def body(ctx):
+        region = ctx.pmalloc(MIB)
+        yield Flush(region, lines=100)  # 100 x 87 ns = 8.7 us
+
+    thread = os.create_thread(body)
+    os.sim.schedule(4_000.0, lambda: os.post_signal(thread, Signal(41)))
+    os.run_to_completion()
+    assert handled == [4_000.0]
+    # All 100 line flushes completed despite the interruption.
+    assert os.sim.now == pytest.approx(100 * 87.0 + 50.0, rel=0.02)
+
+
+def test_join_result_survives_signal_during_join():
+    os = make_os()
+
+    def handler(thread, signal):
+        yield Spin(10.0)
+
+    os.signal_handlers[41] = handler
+
+    def child(ctx):
+        yield Compute(220_000.0)  # 100 us
+        return 99
+
+    def parent(ctx):
+        t = yield SpawnThread(child)
+        value = yield JoinThread(t)
+        return value
+
+    parent_thread = os.create_thread(parent)
+    os.sim.schedule(50_000.0, lambda: os.post_signal(parent_thread, Signal(41)))
+    os.run_to_completion()
+    assert parent_thread.result == 99
+
+
+def test_two_signals_different_ops_both_handled():
+    os = make_os()
+    handled = []
+
+    def handler(thread, signal):
+        handled.append(round(os.sim.now))
+        yield Spin(1.0)
+
+    os.signal_handlers[41] = handler
+
+    def body(ctx):
+        region = ctx.malloc(4 * GIB, page_size=PageSize.HUGE_2M)
+        yield MemBatch(region, 2_000, PatternKind.CHASE)  # ~174 us
+        yield Compute(2.2e5)  # 100 us
+
+    thread = os.create_thread(body)
+    os.sim.schedule(50_000.0, lambda: os.post_signal(thread, Signal(41)))
+    os.sim.schedule(200_000.0, lambda: os.post_signal(thread, Signal(41)))
+    os.run_to_completion()
+    assert handled == [50_000, 200_000]
+
+
+def test_context_now_matches_sim_clock():
+    os = make_os()
+    observed = {}
+
+    def body(ctx):
+        observed["before"] = ctx.now_ns
+        yield Compute(2200.0)
+        observed["after"] = ctx.now_ns
+
+    os.create_thread(body)
+    os.run_to_completion()
+    assert observed["before"] == 0.0
+    assert observed["after"] == pytest.approx(1000.0)
+
+
+def test_sleep_zero_completes():
+    os = make_os()
+
+    def body(ctx):
+        yield Sleep(0.0)
+        yield Compute(1.0)
+
+    os.create_thread(body)
+    os.run_to_completion()

@@ -1,0 +1,79 @@
+"""Tests for the calibration pass (latencies + bandwidth table)."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.hw import ALL_ARCHS, IVY_BRIDGE, SANDY_BRIDGE
+from repro.quartz.calibration import CalibrationData, calibrate_arch
+
+
+@pytest.fixture(scope="module")
+def ivy_calibration():
+    return calibrate_arch(IVY_BRIDGE)
+
+
+def test_measured_latencies_near_table2(ivy_calibration):
+    """The chase measurement should land close to the Table 2 values."""
+    assert ivy_calibration.dram_local_ns == pytest.approx(87.0, rel=0.03)
+    assert ivy_calibration.dram_remote_ns == pytest.approx(176.0, rel=0.03)
+
+
+def test_l3_latency_plausible(ivy_calibration):
+    assert ivy_calibration.l3_ns == pytest.approx(IVY_BRIDGE.l3_lat_ns, rel=0.1)
+
+
+def test_w_ratio(ivy_calibration):
+    assert ivy_calibration.w_local == pytest.approx(
+        ivy_calibration.dram_local_ns / ivy_calibration.l3_ns
+    )
+    assert ivy_calibration.w_remote > ivy_calibration.w_local
+
+
+def test_bandwidth_table_monotonic_then_saturating(ivy_calibration):
+    rates = [rate for _, rate in ivy_calibration.bandwidth_table]
+    assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+    assert ivy_calibration.peak_bandwidth <= IVY_BRIDGE.peak_bw_bytes_per_ns * 1.01
+    assert ivy_calibration.peak_bandwidth >= IVY_BRIDGE.peak_bw_bytes_per_ns * 0.5
+
+
+def test_register_for_bandwidth_inverts_table(ivy_calibration):
+    for target in [2.0, 10.0, 30.0]:
+        register = ivy_calibration.register_for_bandwidth(target)
+        assert 0 <= register <= 4095
+    low = ivy_calibration.register_for_bandwidth(2.0)
+    high = ivy_calibration.register_for_bandwidth(30.0)
+    assert low < high
+
+
+def test_register_for_unattainable_bandwidth_returns_max(ivy_calibration):
+    assert ivy_calibration.register_for_bandwidth(10_000.0) == 4095
+
+
+def test_register_for_bandwidth_rejects_nonpositive(ivy_calibration):
+    with pytest.raises(CalibrationError):
+        ivy_calibration.register_for_bandwidth(0.0)
+
+
+def test_calibration_cached_per_arch_and_seed():
+    first = calibrate_arch(IVY_BRIDGE, seed=5)
+    second = calibrate_arch(IVY_BRIDGE, seed=5)
+    assert first is second
+    uncached = calibrate_arch(IVY_BRIDGE, seed=5, use_cache=False)
+    assert uncached is not first
+    assert uncached.dram_local_ns == first.dram_local_ns
+
+
+@pytest.mark.parametrize("arch", ALL_ARCHS, ids=lambda a: a.name)
+def test_all_testbeds_calibrate(arch):
+    data = calibrate_arch(arch)
+    assert data.arch_name == arch.name
+    assert data.dram_local_ns == pytest.approx(arch.dram_local.avg_ns, rel=0.05)
+    assert data.dram_remote_ns == pytest.approx(arch.dram_remote.avg_ns, rel=0.05)
+    assert data.dram_local_ns < data.dram_remote_ns
+
+
+def test_sandy_bridge_local_remote_distinct():
+    data = calibrate_arch(SANDY_BRIDGE)
+    assert data.dram_remote_ns / data.dram_local_ns == pytest.approx(
+        163.0 / 97.0, rel=0.05
+    )

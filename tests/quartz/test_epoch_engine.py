@@ -1,0 +1,211 @@
+"""Direct unit tests for the epoch engine internals."""
+
+import pytest
+
+from repro.errors import QuartzError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.ops import Compute, Spin
+from repro.quartz.calibration import calibrate_arch
+from repro.quartz.config import QuartzConfig
+from repro.quartz.counters import RDPMC_BACKEND
+from repro.quartz.epoch import EpochEngine, ThreadEpochState
+from repro.quartz.stats import EpochTrigger, QuartzStats
+from repro.sim import Simulator
+from repro.os import SimOS
+
+
+def make_engine(seed=1, **config_kwargs):
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, IVY_BRIDGE)
+    os = SimOS(machine)
+    config = QuartzConfig(nvm_read_latency_ns=500.0, **config_kwargs)
+    engine = EpochEngine(
+        machine, config, calibrate_arch(IVY_BRIDGE), RDPMC_BACKEND,
+        QuartzStats(),
+    )
+    machine.pmcs[0].program(
+        IVY_BRIDGE.counter_events.all_events(), privileged=True
+    )
+    return sim, machine, os, engine
+
+
+def _idle_body(ctx):
+    return
+    yield  # pragma: no cover - makes this a generator
+
+
+def make_registered_thread(os, engine):
+    thread = os.create_thread(_idle_body, name="t")
+    cost = engine.open_initial(thread)
+    assert cost > 0
+    return thread
+
+
+def drain(generator):
+    """Collect the ops an engine generator yields (no time advance)."""
+    return list(generator)
+
+
+def test_open_initial_creates_state_and_stats():
+    sim, machine, os, engine = make_engine()
+    thread = make_registered_thread(os, engine)
+    state = thread.library_state
+    assert isinstance(state, ThreadEpochState)
+    assert state.start_ns == sim.now
+    assert engine.stats.threads_registered == 1
+    assert engine.stats.thread(thread.tid).name == "t"
+
+
+def test_epoch_elapsed_tracks_clock():
+    sim, machine, os, engine = make_engine()
+    thread = make_registered_thread(os, engine)
+    sim.run(until_ns=sim.now + 12_345.0)
+    assert engine.epoch_elapsed_ns(thread) == pytest.approx(12_345.0)
+
+
+def test_close_without_state_raises():
+    sim, machine, os, engine = make_engine()
+    thread = os.create_thread(_idle_body, name="unregistered")
+    with pytest.raises(QuartzError, match="no open epoch"):
+        drain(engine.close_and_reopen(thread, EpochTrigger.MONITOR))
+
+
+def test_close_with_stalls_yields_compute_and_spin():
+    sim, machine, os, engine = make_engine()
+    thread = make_registered_thread(os, engine)
+    events = IVY_BRIDGE.counter_events
+    pmc = machine.pmcs[thread.core.core_id]
+    # Simulate an epoch with 1000 serialized DRAM accesses.
+    pmc.increment(events.l2_stalls, 1000 * 87.0 * IVY_BRIDGE.freq_ghz)
+    pmc.increment(events.l3_miss_local, 1000.0)
+    sim.run(until_ns=sim.now + 100_000.0)
+    ops = drain(engine.close_and_reopen(thread, EpochTrigger.MONITOR))
+    assert isinstance(ops[0], Compute)
+    assert isinstance(ops[1], Spin)
+    # Delay ~= 1000 * (500 - 87) ns, minus the amortized overhead.
+    assert ops[1].duration_ns == pytest.approx(1000 * 413.0, rel=0.05)
+    stats = engine.stats.thread(thread.tid)
+    assert stats.epochs_monitor == 1
+    assert stats.delay_computed_ns > 0
+
+
+def test_empty_epoch_injects_nothing():
+    sim, machine, os, engine = make_engine()
+    thread = make_registered_thread(os, engine)
+    sim.run(until_ns=sim.now + 50_000.0)
+    ops = drain(engine.close_and_reopen(thread, EpochTrigger.MONITOR))
+    assert len(ops) == 1  # only the processing Compute
+    assert isinstance(ops[0], Compute)
+
+
+def test_injection_disabled_mode_suppresses_spin():
+    sim, machine, os, engine = make_engine(injection_enabled=False)
+    thread = make_registered_thread(os, engine)
+    events = IVY_BRIDGE.counter_events
+    machine.pmcs[thread.core.core_id].increment(
+        events.l2_stalls, 1_000_000.0
+    )
+    machine.pmcs[thread.core.core_id].increment(events.l3_miss_local, 5000.0)
+    ops = drain(engine.close_and_reopen(thread, EpochTrigger.MONITOR))
+    assert all(isinstance(op, Compute) for op in ops)
+    assert engine.stats.delay_computed_ns > 0
+    assert engine.stats.delay_injected_ns == 0
+
+
+def test_overhead_pool_carries_over_small_epochs():
+    sim, machine, os, engine = make_engine()
+    thread = make_registered_thread(os, engine)
+    # Several zero-delay closes accumulate overhead in the pool.
+    for _ in range(3):
+        drain(engine.close_and_reopen(thread, EpochTrigger.MONITOR))
+    state = thread.library_state
+    assert state.overhead_pool_ns > 0
+    pool_before = state.overhead_pool_ns
+    # A large-delay epoch then amortizes the pool away.
+    events = IVY_BRIDGE.counter_events
+    machine.pmcs[thread.core.core_id].increment(events.l2_stalls, 2_000_000.0)
+    machine.pmcs[thread.core.core_id].increment(events.l3_miss_local, 10_000.0)
+    drain(engine.close_and_reopen(thread, EpochTrigger.MONITOR))
+    assert state.overhead_pool_ns == pytest.approx(0.0, abs=1e-6)
+    stats = engine.stats.thread(thread.tid)
+    assert stats.overhead_amortized_ns >= pool_before
+
+
+def test_exit_close_clears_state_and_records_residual():
+    sim, machine, os, engine = make_engine()
+    thread = make_registered_thread(os, engine)
+    drain(engine.close_and_reopen(thread, EpochTrigger.MONITOR))
+    drain(engine.close_and_reopen(thread, EpochTrigger.EXIT))
+    assert thread.library_state is None
+    stats = engine.stats.thread(thread.tid)
+    assert stats.epochs_exit == 1
+    assert stats.overhead_residual_ns > 0  # nothing amortized it
+
+
+def test_sync_boundary_min_epoch_gate():
+    sim, machine, os, engine = make_engine(min_epoch_ns=1_000_000.0)
+    thread = make_registered_thread(os, engine)
+    sim.run(until_ns=sim.now + 10_000.0)  # well under min epoch
+    plan = engine.sync_boundary(thread, "release")
+    assert plan is None
+    assert engine.stats.thread(thread.tid).closes_skipped_min_epoch == 1
+
+
+def test_sync_boundary_split_honours_cs_attribution():
+    sim, machine, os, engine = make_engine(min_epoch_ns=0.0)
+    thread = make_registered_thread(os, engine)
+    events = IVY_BRIDGE.counter_events
+    pmc = machine.pmcs[thread.core.core_id]
+    # 30 us outside the lock...
+    sim.run(until_ns=sim.now + 30_000.0)
+    pmc.increment(events.l2_stalls, 30_000.0 * IVY_BRIDGE.freq_ghz)
+    pmc.increment(events.l3_miss_local, 30_000.0 / 87.0)
+    engine.sync_boundary(thread, "acquire")  # closes: all outside
+    engine.finish_boundary(thread, "acquire")
+    engine.mark_epoch_start(thread)
+    # ...then 10 us inside.
+    sim.run(until_ns=sim.now + 10_000.0)
+    pmc.increment(events.l2_stalls, 10_000.0 * IVY_BRIDGE.freq_ghz)
+    pmc.increment(events.l3_miss_local, 10_000.0 / 87.0)
+    plan = engine.sync_boundary(thread, "release")
+    assert plan is not None
+    # Everything since the acquire is in-CS: injected before the release.
+    assert plan.pre_spin_ns > 0
+    assert plan.post_spin_ns == pytest.approx(0.0, abs=1.0)
+
+
+def test_sync_boundary_mixed_epoch_splits_proportionally():
+    sim, machine, os, engine = make_engine(
+        min_epoch_ns=10_000_000.0, max_epoch_ns=10_000_000.0  # gate all
+    )
+    thread = make_registered_thread(os, engine)
+    events = IVY_BRIDGE.counter_events
+    pmc = machine.pmcs[thread.core.core_id]
+    # 30 us outside (gated at acquire), then 10 us inside: the release
+    # close (force by dropping the gate) splits 3:1 outside:inside.
+    sim.run(until_ns=sim.now + 30_000.0)
+    engine.sync_boundary(thread, "acquire")  # gated: bookkeeping only
+    engine.finish_boundary(thread, "acquire")
+    sim.run(until_ns=sim.now + 10_000.0)
+    pmc.increment(events.l2_stalls, 40_000.0 * IVY_BRIDGE.freq_ghz)
+    pmc.increment(events.l3_miss_local, 40_000.0 / 87.0)
+    engine.config.min_epoch_ns = 0.0
+    plan = engine.sync_boundary(thread, "release")
+    assert plan is not None
+    total = plan.pre_spin_ns + plan.post_spin_ns
+    assert plan.pre_spin_ns == pytest.approx(total * 0.25, rel=0.05)
+    assert plan.post_spin_ns == pytest.approx(total * 0.75, rel=0.05)
+
+
+def test_notify_plan_injects_everything_before():
+    sim, machine, os, engine = make_engine(min_epoch_ns=0.0)
+    thread = make_registered_thread(os, engine)
+    events = IVY_BRIDGE.counter_events
+    pmc = machine.pmcs[thread.core.core_id]
+    sim.run(until_ns=sim.now + 10_000.0)
+    pmc.increment(events.l2_stalls, 10_000.0 * IVY_BRIDGE.freq_ghz)
+    pmc.increment(events.l3_miss_local, 10_000.0 / 87.0)
+    plan = engine.sync_boundary(thread, "notify")
+    assert plan is not None
+    assert plan.post_spin_ns == 0.0
+    assert plan.pre_spin_ns > 0

@@ -1,0 +1,76 @@
+"""Tests for the privileged kernel-module analogue."""
+
+import pytest
+
+from repro.errors import QuartzError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.hw.memory import THROTTLE_REGISTER_MAX
+from repro.quartz.kernel_module import QuartzKernelModule
+from repro.sim import Simulator
+
+
+def make_module():
+    machine = Machine(Simulator(seed=1), IVY_BRIDGE)
+    return machine, QuartzKernelModule(machine)
+
+
+def test_load_and_unload():
+    _, module = make_module()
+    assert not module.loaded
+    module.load()
+    assert module.loaded
+    module.unload()
+    assert not module.loaded
+
+
+def test_double_load_rejected():
+    _, module = make_module()
+    module.load()
+    with pytest.raises(QuartzError):
+        module.load()
+
+
+def test_operations_require_loaded_module():
+    _, module = make_module()
+    with pytest.raises(QuartzError, match="not loaded"):
+        module.setup_counters()
+    with pytest.raises(QuartzError, match="not loaded"):
+        module.set_throttle_register(0, 100)
+    with pytest.raises(QuartzError, match="not loaded"):
+        module.unload()
+
+
+def test_setup_counters_programs_table1_events_on_every_core():
+    machine, module = make_module()
+    module.load()
+    module.setup_counters()
+    expected = frozenset(IVY_BRIDGE.counter_events.all_events())
+    for pmc in machine.pmcs:
+        assert pmc.programmed_events == expected
+    assert module.user_rdpmc_enabled
+
+
+def test_throttle_register_programming_and_reset():
+    machine, module = make_module()
+    module.load()
+    module.set_throttle_register(0, 100)
+    assert machine.controller(0).throttle_register == 100
+    module.reset_throttle(0)
+    assert machine.controller(0).throttle_register == THROTTLE_REGISTER_MAX
+
+
+def test_throttle_value_range_checked():
+    _, module = make_module()
+    module.load()
+    with pytest.raises(QuartzError):
+        module.set_throttle_register(0, THROTTLE_REGISTER_MAX + 1)
+
+
+def test_unload_restores_throttle_registers():
+    machine, module = make_module()
+    module.load()
+    module.set_throttle_register(0, 50)
+    module.set_throttle_register(1, 60)
+    module.unload()
+    assert machine.controller(0).throttle_register == THROTTLE_REGISTER_MAX
+    assert machine.controller(1).throttle_register == THROTTLE_REGISTER_MAX

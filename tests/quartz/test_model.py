@@ -1,0 +1,137 @@
+"""Tests for the analytic model equations (Section 2.2 / 3.3)."""
+
+import pytest
+
+from repro.errors import QuartzError
+from repro.quartz.model import (
+    eq1_simple_delay,
+    eq2_delay_from_stalls,
+    eq3_ldm_stall,
+    eq4_remote_stall_split,
+)
+
+
+# ----------------------------------------------------------------------
+# Eq. (1): the naive serial model
+# ----------------------------------------------------------------------
+def test_eq1_counts_every_reference():
+    # 100 references, NVM 300 ns vs DRAM 100 ns -> 20,000 ns extra.
+    assert eq1_simple_delay(100, 300.0, 100.0) == pytest.approx(20_000.0)
+
+
+def test_eq1_zero_when_latencies_equal():
+    assert eq1_simple_delay(100, 100.0, 100.0) == 0.0
+
+
+def test_eq1_overestimates_parallel_accesses_by_mlp_factor():
+    """The Figure 2 example: 3 parallel loads need 1x the delta, not 3x."""
+    nvm, dram = 300.0, 100.0
+    parallel_loads = 3
+    simple = eq1_simple_delay(parallel_loads, nvm, dram)
+    # With MLP=3 the stall time is one serialized access: dram ns.
+    correct = eq2_delay_from_stalls(dram, nvm, dram)
+    assert simple == pytest.approx(3 * correct)
+
+
+def test_eq1_input_validation():
+    with pytest.raises(QuartzError):
+        eq1_simple_delay(-1, 300.0, 100.0)
+    with pytest.raises(QuartzError):
+        eq1_simple_delay(1, 50.0, 100.0)  # NVM faster than DRAM
+    with pytest.raises(QuartzError):
+        eq1_simple_delay(1, 300.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Eq. (2): stall-based delay
+# ----------------------------------------------------------------------
+def test_eq2_scales_stall_by_latency_ratio():
+    # 1000 ns stalled at 100 ns/access = 10 serialized accesses; each
+    # needs 200 ns more.
+    assert eq2_delay_from_stalls(1000.0, 300.0, 100.0) == pytest.approx(2000.0)
+
+
+def test_eq2_zero_stall_zero_delay():
+    assert eq2_delay_from_stalls(0.0, 300.0, 100.0) == 0.0
+
+
+def test_eq2_equal_latencies_need_no_delay():
+    assert eq2_delay_from_stalls(12345.0, 100.0, 100.0) == 0.0
+
+
+def test_eq2_negative_stall_rejected():
+    with pytest.raises(QuartzError):
+        eq2_delay_from_stalls(-1.0, 300.0, 100.0)
+
+
+# ----------------------------------------------------------------------
+# Eq. (3): stall apportioning between LLC hits and misses
+# ----------------------------------------------------------------------
+def test_eq3_all_misses_attributes_all_stalls():
+    assert eq3_ldm_stall(10_000.0, 0.0, 500.0, 6.0) == pytest.approx(10_000.0)
+
+
+def test_eq3_all_hits_attributes_nothing():
+    assert eq3_ldm_stall(10_000.0, 500.0, 0.0, 6.0) == 0.0
+
+
+def test_eq3_weighted_split():
+    # W=6, hits=600, misses=100: weighted misses 600 -> half the stalls.
+    assert eq3_ldm_stall(10_000.0, 600.0, 100.0, 6.0) == pytest.approx(5_000.0)
+
+
+def test_eq3_is_exact_for_the_hardware_truth():
+    """If stalls really are hits*L3 + misses*DRAM, Eq. (3) recovers the
+    memory part exactly — the property making the model work."""
+    l3, dram = 15.0, 90.0
+    hits, misses = 700.0, 300.0
+    w = dram / l3
+    stall = hits * l3 + misses * dram
+    assert eq3_ldm_stall(stall, hits, misses, w) == pytest.approx(misses * dram)
+
+
+def test_eq3_empty_epoch():
+    assert eq3_ldm_stall(0.0, 0.0, 0.0, 6.0) == 0.0
+
+
+def test_eq3_input_validation():
+    with pytest.raises(QuartzError):
+        eq3_ldm_stall(-1.0, 0.0, 0.0, 6.0)
+    with pytest.raises(QuartzError):
+        eq3_ldm_stall(1.0, -1.0, 0.0, 6.0)
+    with pytest.raises(QuartzError):
+        eq3_ldm_stall(1.0, 0.0, 0.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Eq. (4): local/remote stall split
+# ----------------------------------------------------------------------
+def test_eq4_paper_worked_example():
+    """Section 3.3: 3000 ns stall, 10x100ns local + 10x200ns remote
+    references -> 2000 ns attributed to remote."""
+    assert eq4_remote_stall_split(3000.0, 10, 10, 100.0, 200.0) == pytest.approx(
+        2000.0
+    )
+
+
+def test_eq4_no_remote_references():
+    assert eq4_remote_stall_split(3000.0, 10, 0, 100.0, 200.0) == 0.0
+
+
+def test_eq4_all_remote_references():
+    assert eq4_remote_stall_split(3000.0, 0, 10, 100.0, 200.0) == pytest.approx(
+        3000.0
+    )
+
+
+def test_eq4_empty_epoch():
+    assert eq4_remote_stall_split(0.0, 0, 0, 100.0, 200.0) == 0.0
+
+
+def test_eq4_input_validation():
+    with pytest.raises(QuartzError):
+        eq4_remote_stall_split(-1.0, 1, 1, 100.0, 200.0)
+    with pytest.raises(QuartzError):
+        eq4_remote_stall_split(1.0, -1, 1, 100.0, 200.0)
+    with pytest.raises(QuartzError):
+        eq4_remote_stall_split(1.0, 1, 1, 0.0, 200.0)

@@ -1,0 +1,120 @@
+"""Tests for the epoch-trace instrumentation."""
+
+import pytest
+
+from repro.errors import QuartzError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.hw.topology import PageSize
+from repro.ops import MemBatch, MutexLock, MutexUnlock, PatternKind
+from repro.os import Mutex, SimOS
+from repro.quartz import Quartz, QuartzConfig, calibrate_arch
+from repro.quartz.stats import EpochTrigger
+from repro.quartz.trace import EpochRecord, EpochTrace, attach_trace
+from repro.sim import Simulator
+from repro.units import GIB, MILLISECOND
+
+
+def run_traced(body, config=None, seed=2):
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, IVY_BRIDGE)
+    osys = SimOS(machine)
+    quartz = Quartz(
+        osys,
+        config or QuartzConfig(
+            nvm_read_latency_ns=500.0, max_epoch_ns=0.2 * MILLISECOND
+        ),
+        calibration=calibrate_arch(IVY_BRIDGE),
+    )
+    quartz.attach()
+    trace = attach_trace(quartz)
+    osys.create_thread(body, name="traced")
+    osys.run_to_completion()
+    return trace, quartz
+
+
+def chase_body(ctx):
+    region = ctx.pmalloc(2 * GIB, page_size=PageSize.HUGE_2M)
+    yield MemBatch(region, 80_000, PatternKind.CHASE)
+
+
+def test_trace_requires_attached_emulator():
+    sim = Simulator(seed=1)
+    machine = Machine(sim, IVY_BRIDGE)
+    quartz = Quartz(
+        SimOS(machine), QuartzConfig(), calibration=calibrate_arch(IVY_BRIDGE)
+    )
+    with pytest.raises(QuartzError, match="attach the emulator"):
+        attach_trace(quartz)
+
+
+def test_trace_records_monitor_epochs():
+    trace, quartz = run_traced(chase_body)
+    assert len(trace) == quartz.stats.epochs_total
+    monitor_records = trace.by_trigger(EpochTrigger.MONITOR)
+    assert len(monitor_records) > 5
+    assert trace.by_trigger(EpochTrigger.EXIT)
+    # Epoch lengths cluster around the configured maximum.
+    stats = trace.epoch_length_stats()
+    assert 0.15e6 < stats.mean < 0.5e6
+
+
+def test_trace_records_sync_epochs():
+    def body(ctx):
+        mutex = Mutex(ctx.os)
+        region = ctx.pmalloc(2 * GIB, page_size=PageSize.HUGE_2M)
+        for _ in range(5):
+            yield MutexLock(mutex)
+            yield MemBatch(region, 5_000, PatternKind.CHASE)
+            yield MutexUnlock(mutex)
+
+    trace, _ = run_traced(
+        body,
+        config=QuartzConfig(nvm_read_latency_ns=500.0, min_epoch_ns=0.0),
+    )
+    assert len(trace.by_trigger(EpochTrigger.SYNC)) >= 5
+
+
+def test_trace_totals_track_stats():
+    trace, quartz = run_traced(chase_body)
+    computed = sum(r.delay_computed_ns for r in trace.records)
+    assert computed == pytest.approx(quartz.stats.delay_computed_ns, rel=1e-6)
+    assert 0.9 <= trace.injection_ratio() <= 1.0
+
+
+def test_trace_by_thread_filters():
+    trace, _ = run_traced(chase_body)
+    tids = {r.tid for r in trace.records}
+    assert len(tids) == 1
+    tid = tids.pop()
+    assert len(trace.by_thread(tid)) == len(trace)
+    assert trace.by_thread(tid + 99) == []
+
+
+def test_trace_summary_renders():
+    trace, _ = run_traced(chase_body)
+    text = trace.summary()
+    assert "epochs over 1 thread" in text
+    assert "monitor=" in text
+    assert "delay injected" in text
+
+
+def test_empty_trace_summary_and_stats():
+    trace = EpochTrace()
+    assert trace.summary() == "epoch trace: empty"
+    with pytest.raises(QuartzError):
+        trace.epoch_length_stats()
+    assert trace.injection_ratio() == 1.0
+
+
+def test_trace_ring_buffer_caps_records():
+    trace = EpochTrace(max_records=3)
+    for index in range(6):
+        trace.record(
+            EpochRecord(
+                time_ns=float(index), tid=1, thread_name="t",
+                trigger=EpochTrigger.MONITOR, epoch_length_ns=1.0,
+                delay_computed_ns=0.0, delay_injected_ns=0.0,
+            )
+        )
+    assert len(trace) == 3
+    assert [r.time_ns for r in trace.records] == [3.0, 4.0, 5.0]

@@ -1,0 +1,254 @@
+"""Unit tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Condition, Interrupt, Simulator, Timeout
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(("start", sim.now))
+        yield Timeout(100.0)
+        log.append(("after", sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [("start", 0.0), ("after", 100.0)]
+
+
+def test_process_return_value_and_done_condition():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.done
+    assert p.result == 42
+    assert p.done_condition.fired
+    assert p.done_condition.value == 42
+
+
+def test_waiting_on_condition_yields_fired_value():
+    sim = Simulator()
+    cond = Condition(sim, name="data-ready")
+    got = []
+
+    def consumer():
+        value = yield cond
+        got.append((sim.now, value))
+
+    def producer():
+        yield Timeout(50.0)
+        cond.fire("payload")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(50.0, "payload")]
+
+
+def test_waiting_on_already_fired_condition_resumes_immediately():
+    sim = Simulator()
+    cond = Condition(sim)
+    cond.fire("early")
+    got = []
+
+    def proc():
+        value = yield cond
+        got.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_condition_fires_once_only():
+    sim = Simulator()
+    cond = Condition(sim)
+    cond.fire(1)
+    with pytest.raises(SimulationError):
+        cond.fire(2)
+
+
+def test_multiple_waiters_all_resume_in_wait_order():
+    sim = Simulator()
+    cond = Condition(sim)
+    order = []
+
+    def proc(tag):
+        yield cond
+        order.append(tag)
+
+    for tag in "abc":
+        sim.spawn(proc(tag))
+    sim.schedule(10.0, lambda: cond.fire(None))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(30.0)
+        return "child-result"
+
+    def parent():
+        result = yield sim.spawn(child(), name="child")
+        return (sim.now, result)
+
+    p = sim.spawn(parent(), name="parent")
+    sim.run()
+    assert p.result == (30.0, "child-result")
+
+
+def test_interrupt_during_timeout_delivers_payload():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        try:
+            yield Timeout(1000.0)
+            log.append("uninterrupted")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.payload))
+            yield Timeout(5.0)
+            log.append(("resumed", sim.now))
+
+    p = sim.spawn(proc())
+    sim.schedule(100.0, lambda: p.interrupt("sig"))
+    sim.run()
+    assert log == [("interrupted", 100.0, "sig"), ("resumed", 105.0)]
+
+
+def test_interrupt_during_condition_wait_removes_waiter():
+    sim = Simulator()
+    cond = Condition(sim)
+    log = []
+
+    def proc():
+        try:
+            yield cond
+        except Interrupt:
+            log.append("interrupted")
+
+    p = sim.spawn(proc())
+    sim.schedule(10.0, lambda: p.interrupt())
+    sim.run()
+    assert log == ["interrupted"]
+    # Firing later must not try to resume the interrupted process.
+    cond.fire(None)
+    sim.run()
+    assert log == ["interrupted"]
+
+
+def test_interrupting_finished_process_is_a_noop():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.done
+    assert p.interrupt("late") is False
+
+
+def test_unhandled_interrupt_marks_process_failed():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1000.0)
+
+    def watcher(p):
+        yield p.done_condition
+
+    p = sim.spawn(proc())
+    sim.spawn(watcher(p))
+    sim.schedule(1.0, lambda: p.interrupt("boom"))
+    sim.run()
+    assert p.done
+    assert isinstance(p.failure, Interrupt)
+
+
+def test_unhandled_interrupt_without_watcher_propagates():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1000.0)
+
+    p = sim.spawn(proc())
+    sim.schedule(1.0, lambda: p.interrupt("boom"))
+    with pytest.raises(Interrupt):
+        sim.run()
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not-a-waitable"
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_generator_exception_propagates():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        raise ValueError("workload bug")
+
+    sim.spawn(proc())
+    with pytest.raises(ValueError, match="workload bug"):
+        sim.run()
+
+
+def test_nested_generators_with_yield_from():
+    sim = Simulator()
+    log = []
+
+    def inner():
+        yield Timeout(10.0)
+        return "inner-value"
+
+    def outer():
+        value = yield from inner()
+        log.append((sim.now, value))
+        yield Timeout(5.0)
+        log.append(("end", sim.now))
+
+    sim.spawn(outer())
+    sim.run()
+    assert log == [(10.0, "inner-value"), ("end", 15.0)]
+
+
+def test_interrupt_propagates_into_nested_generator():
+    sim = Simulator()
+    log = []
+
+    def inner():
+        try:
+            yield Timeout(1000.0)
+        except Interrupt as intr:
+            log.append(("inner-caught", intr.payload))
+            return "aborted"
+        return "completed"
+
+    def outer():
+        result = yield from inner()
+        log.append(("outer", result))
+
+    p = sim.spawn(outer())
+    sim.schedule(7.0, lambda: p.interrupt("sig"))
+    sim.run()
+    assert log == [("inner-caught", "sig"), ("outer", "aborted")]

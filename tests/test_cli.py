@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "figure12" in output
+    assert "pagerank-validation" in output
+
+
+def test_calibrate_command(capsys):
+    assert main(["calibrate", "--arch", "ivy-bridge"]) == 0
+    output = capsys.readouterr().out
+    assert "local DRAM latency" in output
+    assert "bandwidth table" in output
+
+
+def test_run_command_with_arch_and_trials(capsys):
+    assert main(["run", "table2", "--arch", "ivy-bridge", "--trials", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "IvyBridge" in output
+    assert "SandyBridge" not in output
+
+
+def test_run_writes_output_file(tmp_path, capsys):
+    target = tmp_path / "table.txt"
+    assert main(["run", "table2", "--arch", "haswell", "--trials", "1",
+                 "-o", str(target)]) == 0
+    capsys.readouterr()
+    assert "Haswell" in target.read_text()
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "figure99"])
+
+
+def test_unknown_arch_rejected():
+    with pytest.raises(KeyError):
+        main(["run", "table2", "--arch", "skylake"])

@@ -1,0 +1,251 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import IVY_BRIDGE
+from repro.hw.cache import AnalyticCacheModel
+from repro.hw.memory import MemoryController
+from repro.hw.topology import MemoryRegion, PageSize
+from repro.ops import MemBatch, PatternKind
+from repro.quartz.epoch import EpochEngine, ThreadEpochState
+from repro.quartz.model import (
+    eq1_simple_delay,
+    eq2_delay_from_stalls,
+    eq3_ldm_stall,
+    eq4_remote_stall_split,
+)
+from repro.sim import Simulator
+from repro.units import MIB
+
+
+# ----------------------------------------------------------------------
+# Simulator kernel
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 1e6), st.booleans()),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_kernel_dispatch_is_time_ordered(entries):
+    sim = Simulator()
+    fired: list[float] = []
+    events = []
+    for delay, cancel in entries:
+        events.append(
+            (sim.schedule(delay, lambda d=delay: fired.append(d)), cancel)
+        )
+    for event, cancel in events:
+        if cancel:
+            event.cancel()
+    sim.run()
+    assert fired == sorted(fired)
+    expected = sorted(d for (d, c) in entries if not c)
+    assert sorted(fired) == expected
+
+
+# ----------------------------------------------------------------------
+# Memory controller flows
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(1.0, 1e5),    # bytes
+            st.floats(0.01, 100.0),  # rate cap
+            st.sampled_from(["read", "write"]),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(0.5, 50.0),  # controller capacity
+)
+def test_property_flows_conserve_bytes_and_respect_capacity(flows, capacity):
+    sim = Simulator()
+    controller = MemoryController(
+        sim, node=0, peak_bw_bytes_per_ns=capacity, channels=4
+    )
+    submitted = [
+        controller.submit(nbytes, cap, kind=kind)
+        for nbytes, cap, kind in flows
+    ]
+    sim.run()
+    assert all(flow.done.fired for flow in submitted)
+    total = sum(nbytes for nbytes, _, _ in flows)
+    assert controller.total_bytes_served == pytest.approx(total, rel=1e-6)
+    # No flow finished faster than its own rate cap allows.
+    for flow, (nbytes, cap, _) in zip(submitted, flows):
+        assert sim.now >= nbytes / cap * 0.999 or nbytes / cap <= sim.now
+    # The whole batch respected the controller capacity.
+    assert sim.now >= total / capacity * 0.999
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 50.0), min_size=1, max_size=10),
+    st.floats(0.5, 100.0),
+)
+def test_property_water_fill_is_max_min_fair(caps, capacity):
+    sim = Simulator()
+    controller = MemoryController(
+        sim, node=0, peak_bw_bytes_per_ns=capacity, channels=4
+    )
+    flows = [controller.submit(1e9, cap) for cap in caps]
+    rates = {flow.flow_id: flow.assigned_rate for flow in flows}
+    # Feasibility.
+    assert sum(rates.values()) <= capacity * (1 + 1e-9)
+    for flow, cap in zip(flows, caps):
+        assert rates[flow.flow_id] <= cap * (1 + 1e-9)
+    # Max-min fairness: an unsatisfied flow gets at least as much as any
+    # other flow.
+    for flow, cap in zip(flows, caps):
+        if rates[flow.flow_id] < cap * (1 - 1e-9):
+            assert all(
+                rates[flow.flow_id] >= rate * (1 - 1e-9)
+                for rate in rates.values()
+            )
+    for flow in flows:
+        controller.withdraw(flow)
+
+
+# ----------------------------------------------------------------------
+# Analytic cache model
+# ----------------------------------------------------------------------
+def region(size_bytes):
+    return MemoryRegion(
+        node=0, size_bytes=size_bytes, base=0, page_size=PageSize.HUGE_2M
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(1, 200_000),           # accesses
+    st.integers(1, 1 << 34),           # footprint
+    st.integers(1, 32),                # parallelism
+    st.sampled_from([PatternKind.CHASE, PatternKind.RANDOM]),
+)
+def test_property_cache_hits_partition_accesses(
+    accesses, footprint, parallelism, pattern
+):
+    model = AnalyticCacheModel(IVY_BRIDGE)
+    batch = MemBatch(
+        region(max(footprint, 64)), accesses, pattern, parallelism=parallelism
+    )
+    profile = model.resolve(batch)
+    total = (
+        profile.l1_hits + profile.l2_hits + profile.l3_hits
+        + profile.demand_dram_loads
+    )
+    assert total == pytest.approx(accesses)
+    assert 0 <= profile.demand_dram_loads <= accesses
+    assert 1 <= profile.effective_mlp <= IVY_BRIDGE.mshr_count
+    assert profile.serialized_dram_accesses <= profile.demand_dram_loads + 1e-9
+    assert profile.dram_bytes >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(64, 1 << 30), st.integers(1, 8))
+def test_property_bigger_footprints_never_hit_more(footprint, factor):
+    model = AnalyticCacheModel(IVY_BRIDGE)
+    small = model.resolve(
+        MemBatch(region(footprint), 10_000, PatternKind.RANDOM)
+    )
+    large = model.resolve(
+        MemBatch(region(footprint * factor), 10_000, PatternKind.RANDOM)
+    )
+    assert large.demand_dram_loads >= small.demand_dram_loads - 1e-6
+
+
+# ----------------------------------------------------------------------
+# The Quartz model equations
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(0.0, 1e9),   # stall cycles
+    st.floats(0.0, 1e6),   # hits
+    st.floats(0.0, 1e6),   # misses
+    st.floats(1.0, 50.0),  # W
+)
+def test_property_eq3_bounded_by_total_stalls(stalls, hits, misses, w):
+    estimate = eq3_ldm_stall(stalls, hits, misses, w)
+    assert 0.0 <= estimate <= stalls * (1 + 1e-12)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(0.0, 1e9),
+    st.floats(0.0, 1e6),
+    st.floats(0.0, 1e6),
+    st.floats(10.0, 500.0),
+    st.floats(10.0, 500.0),
+)
+def test_property_eq4_split_partitions_stalls(
+    total, local, remote, lat_local, lat_remote
+):
+    remote_share = eq4_remote_stall_split(
+        total, local, remote, lat_local, lat_remote
+    )
+    local_share = total - remote_share
+    assert -1e-6 <= remote_share <= total + 1e-6
+    assert local_share >= -1e-6
+    if local + remote > 0:
+        # Symmetry: swapping roles swaps the shares (undefined when the
+        # epoch had no references at all — both splits are then zero).
+        swapped = eq4_remote_stall_split(
+            total, remote, local, lat_remote, lat_local
+        )
+        assert swapped == pytest.approx(local_share, abs=1e-6 * (1 + total))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(0.0, 1e8),
+    st.floats(100.0, 2000.0),
+    st.floats(50.0, 99.0),
+)
+def test_property_eq2_delay_nonnegative_and_linear(stall_ns, nvm, dram):
+    delay = eq2_delay_from_stalls(stall_ns, nvm, dram)
+    assert delay >= 0
+    double = eq2_delay_from_stalls(2 * stall_ns, nvm, dram)
+    assert double == pytest.approx(2 * delay, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000), st.floats(100.0, 2000.0), st.floats(50.0, 99.0))
+def test_property_eq1_upper_bounds_eq2_for_serialized_runs(
+    references, nvm, dram
+):
+    """With MLP >= 1, stall time <= references * dram, so Eq. 2's delay
+    never exceeds Eq. 1's."""
+    stall_ns = references * dram  # fully serialized
+    assert eq2_delay_from_stalls(stall_ns, nvm, dram) == pytest.approx(
+        eq1_simple_delay(references, nvm, dram), rel=1e-9
+    )
+    partial = eq2_delay_from_stalls(stall_ns / 2, nvm, dram)
+    assert partial <= eq1_simple_delay(references, nvm, dram) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Epoch delay splitting
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(0.0, 1e7),  # delay
+    st.floats(0.0, 1e7),  # cs wall
+    st.floats(0.0, 1e7),  # out wall
+)
+def test_property_split_delay_partitions_exactly(delay, cs_wall, out_wall):
+    state = ThreadEpochState(start_ns=0.0, counter_base={})
+    state.cs_wall_ns = cs_wall
+    state.out_wall_ns = out_wall
+    cs_share, out_share = EpochEngine._split_delay(state, delay)
+    assert cs_share >= 0 and out_share >= 0
+    assert cs_share + out_share == pytest.approx(delay, abs=1e-9 * (1 + delay))
+    if cs_wall + out_wall > 0 and delay > 1e-6:
+        assert cs_share / delay == pytest.approx(
+            cs_wall / (cs_wall + out_wall), abs=1e-6
+        )

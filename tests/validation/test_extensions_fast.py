@@ -1,0 +1,78 @@
+"""Fast-variant runs of the extension experiment drivers."""
+
+import pytest
+
+from repro.validation.experiments import (
+    run_asymmetric_bandwidth,
+    run_loaded_latency_study,
+    run_parallel_pagerank,
+    run_technology_comparison,
+)
+from repro.workloads.graphs import synthetic_scale_free
+from repro.workloads.kvstore import KvStoreConfig
+from repro.workloads.pagerank import PageRankConfig
+
+
+def test_parallel_pagerank_fast():
+    # Working set must exceed the LLC for the run to exercise emulation;
+    # 256 B vertex records keep that true at this reduced vertex count.
+    base = PageRankConfig(
+        vertex_count=100_000, edges_per_vertex=4, max_iterations=5,
+        tolerance=1e-15, bytes_per_vertex=256,
+    )
+    from repro.workloads.graphs import synthetic_power_law
+
+    graph = synthetic_power_law(100_000, 4, seed=2)
+    result = run_parallel_pagerank(
+        thread_counts=(1, 4), base=base, graph=graph
+    )
+    by_threads = {row["threads"]: row for row in result.rows}
+    assert by_threads[4]["speedup_emulated"] > 2.0
+    for row in result.rows:
+        assert row["error_pct"] < 8.0
+
+
+def test_asymmetric_bandwidth_fast():
+    from repro.units import MIB
+
+    result = run_asymmetric_bandwidth(
+        write_bandwidths_gbps=(2.0,), stream_bytes=32 * MIB
+    )
+    row = result.rows[0]
+    assert row["achieved_write_gbps"] == pytest.approx(2.0, rel=0.15)
+    assert row["achieved_read_gbps"] > 3 * row["achieved_write_gbps"]
+
+
+def test_loaded_latency_study_fast():
+    result = run_loaded_latency_study(alphas=(0.0, 0.5), iterations=60_000)
+    by_alpha = {row["alpha"]: row["error_pct"] for row in result.rows}
+    # Unloaded calibration cannot track load-inflated latency.
+    assert by_alpha[0.5] > 10 * max(by_alpha[0.0], 0.5)
+
+
+def test_kv_write_models_fast():
+    from repro.validation.experiments import run_kv_write_models
+
+    kv = KvStoreConfig(
+        puts_per_thread=5_000, gets_per_thread=1, flush_writes=True
+    )
+    result = run_kv_write_models(kv=kv)
+    by_model = {row["write_model"]: row["puts_rel"] for row in result.rows}
+    # Pessimistic per-line stalls devastate put throughput; the pcommit
+    # model recovers most of it (Section 6's argument, application-level).
+    assert by_model["pflush"] < 0.5
+    assert by_model["pcommit"] > 0.8
+    assert by_model["pcommit"] > 2 * by_model["pflush"]
+
+
+def test_technology_comparison_fast():
+    # 4 KiB values keep the heap larger than the LLC at this scale.
+    kv = KvStoreConfig(
+        puts_per_thread=8_000, gets_per_thread=8_000, value_bytes=4096
+    )
+    result = run_technology_comparison(kv=kv)
+    gets = result.column("gets_rel")
+    # Ordered fast-to-slow technologies: monotone throughput decline.
+    assert gets == sorted(gets, reverse=True)
+    assert gets[0] > 0.85  # STT-MRAM barely hurts
+    assert gets[-1] < 0.7  # slow NVM clearly hurts

@@ -1,0 +1,104 @@
+"""Tests for validation metrics and result reporting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.validation.metrics import relative_error, summarize
+from repro.validation.reporting import ExperimentResult, render_table
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_relative_error_basics():
+    assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+    assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+    assert relative_error(100.0, 100.0) == 0.0
+
+
+def test_relative_error_zero_reference_rejected():
+    with pytest.raises(ValidationError):
+        relative_error(1.0, 0.0)
+
+
+def test_summarize():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.minimum == 1.0 and stats.maximum == 4.0
+    assert stats.spread == pytest.approx(3.0)
+    assert stats.std == pytest.approx(1.118, rel=0.01)
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValidationError):
+        summarize([])
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+def test_property_summarize_bounds(values):
+    stats = summarize(values)
+    # One ulp of slack: summing identical floats can round the mean just
+    # past the endpoints.
+    slack = 1e-9 * max(1.0, abs(stats.mean))
+    assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+    assert stats.std >= 0
+    assert stats.spread >= 0
+
+
+@given(
+    st.floats(0.1, 1e6),
+    st.floats(0.1, 1e6),
+)
+def test_property_relative_error_symmetry_in_sign(measured, reference):
+    assert relative_error(measured, reference) >= 0
+    assert relative_error(reference, reference) == 0
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def make_result():
+    result = ExperimentResult(
+        experiment_id="test-exp",
+        title="A test experiment",
+        columns=["name", "value"],
+    )
+    result.add_row(name="alpha", value=1.5)
+    result.add_row(name="beta", value=20_000.0)
+    return result
+
+
+def test_add_row_requires_all_columns():
+    result = make_result()
+    with pytest.raises(ValidationError, match="missing columns"):
+        result.add_row(name="gamma")
+
+
+def test_column_extraction():
+    result = make_result()
+    assert result.column("name") == ["alpha", "beta"]
+    with pytest.raises(ValidationError):
+        result.column("nonexistent")
+
+
+def test_render_table_contains_everything():
+    result = make_result()
+    result.note("a scaling note")
+    text = render_table(result)
+    assert "test-exp" in text
+    assert "A test experiment" in text
+    assert "alpha" in text and "beta" in text
+    assert "1.5" in text
+    assert "2e+04" in text  # large values in compact form
+    assert "note: a scaling note" in text
+
+
+def test_render_table_aligns_columns():
+    text = render_table(make_result())
+    lines = text.splitlines()
+    header, separator = lines[1], lines[2]
+    assert len(header) == len(separator)
+    assert "|" in header and "+" in separator

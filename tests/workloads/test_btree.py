@@ -1,0 +1,108 @@
+"""Unit and property-based tests for the B+-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.btree import BPlusTree
+
+
+def test_empty_tree():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert tree.depth == 1
+    assert tree.get(1) is None
+    assert 1 not in tree
+
+
+def test_insert_and_get():
+    tree = BPlusTree(order=4)
+    for key in range(100):
+        tree.insert(key, key * 2)
+    assert len(tree) == 100
+    for key in range(100):
+        assert tree.get(key) == key * 2
+    assert tree.get(100) is None
+
+
+def test_upsert_replaces_value_without_growing():
+    tree = BPlusTree(order=4)
+    tree.insert(5, "a")
+    tree.insert(5, "b")
+    assert len(tree) == 1
+    assert tree.get(5) == "b"
+
+
+def test_depth_grows_with_splits():
+    tree = BPlusTree(order=4)
+    assert tree.depth == 1
+    for key in range(200):
+        tree.insert(key, key)
+    assert tree.depth >= 3
+    tree.check_invariants()
+
+
+def test_items_sorted():
+    tree = BPlusTree(order=4)
+    import random
+
+    keys = list(range(500))
+    random.Random(7).shuffle(keys)
+    for key in keys:
+        tree.insert(key, -key)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+def test_level_counts_track_structure():
+    tree = BPlusTree(order=4)
+    for key in range(1000):
+        tree.insert(key * 7 % 1000, key)
+    tree.check_invariants()  # includes level-count cross-check
+    assert tree.level_counts[0] == 1  # single root
+    assert tree.level_counts[-1] >= 1000 // 5  # leaves hold <= order keys
+
+
+def test_level_footprints():
+    tree = BPlusTree(order=4)
+    for key in range(100):
+        tree.insert(key, key)
+    footprints = tree.level_footprints(node_bytes=512)
+    assert footprints == [count * 512 for count in tree.level_counts]
+    with pytest.raises(WorkloadError):
+        tree.level_footprints(0)
+
+
+def test_order_validation():
+    with pytest.raises(WorkloadError):
+        BPlusTree(order=2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(-10_000, 10_000), st.integers()),
+        max_size=400,
+    )
+)
+def test_property_tree_matches_dict(pairs):
+    """Against a model dict: same mapping, sorted iteration, invariants."""
+    tree = BPlusTree(order=5)
+    model = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        model[key] = value
+    assert len(tree) == len(model)
+    for key, value in model.items():
+        assert tree.get(key) == value
+    assert [k for k, _ in tree.items()] == sorted(model)
+    tree.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 40), st.integers(0, 2000))
+def test_property_any_order_stays_balanced(order, count):
+    tree = BPlusTree(order=order)
+    for key in range(count):
+        tree.insert((key * 2654435761) % (count + 1), key)
+    tree.check_invariants()

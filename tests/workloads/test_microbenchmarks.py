@@ -1,0 +1,236 @@
+"""Tests for MemLat, STREAM, Multi-Threaded, and MultiLat workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.hw.memory import THROTTLE_REGISTER_MAX
+from repro.os import SimOS
+from repro.sim import Simulator
+from repro.units import MIB
+from repro.workloads import (
+    MemLatConfig,
+    MultiLatConfig,
+    MultiThreadedConfig,
+    StreamConfig,
+    memlat_body,
+    multilat_body,
+    multithreaded_main_body,
+    stream_main_body,
+)
+
+
+def make_os(seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    return SimOS(Machine(sim, IVY_BRIDGE), **kwargs)
+
+
+def run_body(os, body_factory_result):
+    os.create_thread(body_factory_result, name="main")
+    os.run_to_completion()
+
+
+# ----------------------------------------------------------------------
+# MemLat
+# ----------------------------------------------------------------------
+def test_memlat_measures_local_dram_latency():
+    os = make_os()
+    out = {}
+    run_body(os, memlat_body(MemLatConfig(iterations=50_000), out))
+    result = out["result"]
+    assert result.measured_latency_ns == pytest.approx(87.0, rel=0.02)
+
+
+def test_memlat_measures_remote_dram_latency():
+    """Conf_2 of the validation testbed: numactl --membind to socket 1."""
+    os = make_os(default_cpu_node=0, default_mem_node=1)
+    out = {}
+    run_body(os, memlat_body(MemLatConfig(iterations=50_000), out))
+    assert out["result"].measured_latency_ns == pytest.approx(176.0, rel=0.02)
+
+
+def test_memlat_chains_overlap_accesses():
+    def measure(chains):
+        os = make_os()
+        out = {}
+        run_body(
+            os, memlat_body(MemLatConfig(iterations=20_000, chains=chains), out)
+        )
+        return out["result"]
+
+    one = measure(1)
+    four = measure(4)
+    # Four chains: 4x the accesses in roughly the same time.
+    assert four.total_accesses == 4 * one.total_accesses
+    assert four.elapsed_ns == pytest.approx(one.elapsed_ns, rel=0.1)
+    assert four.measured_latency_ns == pytest.approx(
+        one.measured_latency_ns, rel=0.1
+    )
+
+
+def test_memlat_without_hugepages_pays_tlb_walks():
+    os_huge = make_os()
+    out_huge = {}
+    run_body(os_huge, memlat_body(MemLatConfig(iterations=20_000), out_huge))
+    os_small = make_os()
+    out_small = {}
+    run_body(
+        os_small,
+        memlat_body(MemLatConfig(iterations=20_000, hugepages=False), out_small),
+    )
+    assert (
+        out_small["result"].measured_latency_ns
+        > out_huge["result"].measured_latency_ns + 10.0
+    )
+
+
+def test_memlat_config_validation():
+    with pytest.raises(WorkloadError):
+        MemLatConfig(array_bytes=MIB)
+    with pytest.raises(WorkloadError):
+        MemLatConfig(iterations=0)
+    with pytest.raises(WorkloadError):
+        MemLatConfig(chains=0)
+
+
+# ----------------------------------------------------------------------
+# STREAM
+# ----------------------------------------------------------------------
+def test_stream_saturates_controller():
+    os = make_os()
+    out = {}
+    run_body(os, stream_main_body(StreamConfig(), out))
+    bandwidth = out["result"].bandwidth_bytes_per_ns
+    assert bandwidth == pytest.approx(IVY_BRIDGE.peak_bw_bytes_per_ns, rel=0.15)
+
+
+def test_stream_tracks_throttled_bandwidth():
+    os = make_os()
+    os.machine.controller(0).program_throttle_register(
+        (THROTTLE_REGISTER_MAX + 1) // 4 - 1, privileged=True
+    )
+    out = {}
+    run_body(os, stream_main_body(StreamConfig(), out))
+    quarter = IVY_BRIDGE.peak_bw_bytes_per_ns / 4
+    assert out["result"].bandwidth_bytes_per_ns == pytest.approx(quarter, rel=0.2)
+
+
+def test_stream_config_validation():
+    with pytest.raises(WorkloadError):
+        StreamConfig(array_bytes=1000)
+    with pytest.raises(WorkloadError):
+        StreamConfig(threads=0)
+    with pytest.raises(WorkloadError):
+        StreamConfig(passes=0)
+
+
+# ----------------------------------------------------------------------
+# Multi-Threaded
+# ----------------------------------------------------------------------
+def test_multithreaded_runs_all_sections():
+    os = make_os()
+    out = {}
+    config = MultiThreadedConfig(threads=4, sections=20, cs_iterations=50)
+    run_body(os, multithreaded_main_body(config, out))
+    result = out["result"]
+    assert result.lock_acquisitions == 4 * 20
+    assert result.total_cs_iterations == 4 * 20 * 50
+
+
+def test_multithreaded_cs_only_serializes_on_lock():
+    """With no outside work, total time ~ sum of all critical sections."""
+    os = make_os()
+    out = {}
+    config = MultiThreadedConfig(
+        threads=4, sections=10, cs_iterations=200, out_iterations=0
+    )
+    run_body(os, multithreaded_main_body(config, out))
+    serialized = 4 * 10 * 200 * 87.0
+    assert out["result"].elapsed_ns >= serialized * 0.95
+
+
+def test_multithreaded_outside_work_overlaps():
+    def measure(out_iterations):
+        os = make_os()
+        out = {}
+        config = MultiThreadedConfig(
+            threads=4,
+            sections=10,
+            cs_iterations=200,
+            out_iterations=out_iterations,
+        )
+        run_body(os, multithreaded_main_body(config, out))
+        return out["result"].elapsed_ns
+
+    cs_only = measure(0)
+    with_compute = measure(200)
+    # Outside work overlaps with other threads' critical sections: the
+    # run must not stretch by the full serialized outside time.
+    assert with_compute < cs_only + 4 * 10 * 200 * 87.0 * 0.8
+
+
+def test_multithreaded_config_validation():
+    with pytest.raises(WorkloadError):
+        MultiThreadedConfig(threads=0)
+    with pytest.raises(WorkloadError):
+        MultiThreadedConfig(sections=0)
+    with pytest.raises(WorkloadError):
+        MultiThreadedConfig(cs_iterations=0)
+    with pytest.raises(WorkloadError):
+        MultiThreadedConfig(out_iterations=-1)
+
+
+# ----------------------------------------------------------------------
+# MultiLat
+# ----------------------------------------------------------------------
+def test_multilat_without_emulator_all_local():
+    os = make_os()
+    out = {}
+    config = MultiLatConfig(
+        dram_elements=20_000, nvm_elements=10_000, pattern=(200, 100)
+    )
+    run_body(os, multilat_body(config, out))
+    # No interposition: pmalloc is local too; 30k accesses at 87 ns.
+    assert out["result"].elapsed_ns == pytest.approx(30_000 * 87.0, rel=0.02)
+
+
+def test_multilat_completion_time_pattern_invariant():
+    def measure(pattern):
+        os = make_os()
+        out = {}
+        config = MultiLatConfig(
+            dram_elements=20_000, nvm_elements=10_000, pattern=pattern
+        )
+        run_body(os, multilat_body(config, out))
+        return out["result"].elapsed_ns
+
+    times = [measure(pattern) for pattern in [(2000, 1000), (200, 100), (20, 10)]]
+    assert max(times) / min(times) < 1.01
+
+
+def test_multilat_drains_leftover_when_ratios_mismatch():
+    os = make_os()
+    out = {}
+    config = MultiLatConfig(
+        dram_elements=10_000, nvm_elements=10_000, pattern=(200, 100)
+    )
+    run_body(os, multilat_body(config, out))
+    assert out["result"].elapsed_ns == pytest.approx(20_000 * 87.0, rel=0.02)
+
+
+def test_multilat_expected_completion_formula():
+    config = MultiLatConfig(dram_elements=100, nvm_elements=50)
+    from repro.workloads.multilat import MultiLatResult
+
+    result = MultiLatResult(config=config, elapsed_ns=100 * 90 + 50 * 500)
+    assert result.expected_completion_ns(90.0, 500.0) == pytest.approx(34_000.0)
+    assert result.emulation_error(90.0, 500.0) == pytest.approx(0.0)
+
+
+def test_multilat_config_validation():
+    with pytest.raises(WorkloadError):
+        MultiLatConfig(dram_elements=-1)
+    with pytest.raises(WorkloadError):
+        MultiLatConfig(dram_elements=0, nvm_elements=0)
+    with pytest.raises(WorkloadError):
+        MultiLatConfig(pattern=(0, 100))

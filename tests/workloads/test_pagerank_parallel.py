@@ -1,0 +1,94 @@
+"""Tests for the barrier-synchronised parallel PageRank extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.os import SimOS
+from repro.sim import Simulator
+from repro.workloads.graphs import synthetic_scale_free
+from repro.workloads.pagerank import PageRankConfig, pagerank_body
+from repro.workloads.pagerank_parallel import (
+    ParallelPageRankConfig,
+    _partition_by_edges,
+    parallel_pagerank_body,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return synthetic_scale_free(2_000, 5, seed=3)
+
+
+def run(body, seed=1):
+    os = SimOS(Machine(Simulator(seed=seed), IVY_BRIDGE))
+    os.create_thread(body, name="main")
+    os.run_to_completion()
+    return os
+
+
+BASE = PageRankConfig(max_iterations=20, tolerance=1e-10)
+
+
+def test_partition_covers_all_vertices(graph):
+    for parts in (1, 2, 4, 7):
+        ranges = _partition_by_edges(graph, parts)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == graph.vertex_count
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start
+
+
+def test_partition_balances_edges(graph):
+    ranges = _partition_by_edges(graph, 4)
+    edge_counts = [
+        int(graph.row_ptr[high] - graph.row_ptr[low]) for low, high in ranges
+    ]
+    assert max(edge_counts) < 2.0 * graph.edge_count / 4
+
+
+def test_parallel_matches_sequential_ranks(graph):
+    sequential_out = {}
+    run(pagerank_body(BASE, sequential_out, graph=graph))
+    parallel_out = {}
+    config = ParallelPageRankConfig(base=BASE, threads=4)
+    run(parallel_pagerank_body(config, parallel_out, graph=graph))
+    assert np.allclose(
+        sequential_out["result"].ranks, parallel_out["result"].ranks
+    )
+    assert (
+        sequential_out["result"].iterations
+        == parallel_out["result"].iterations
+    )
+
+
+def test_threads_speed_up_completion(graph):
+    def elapsed(threads):
+        out = {}
+        config = ParallelPageRankConfig(base=BASE, threads=threads)
+        run(parallel_pagerank_body(config, out, graph=graph))
+        return out["result"].elapsed_ns
+
+    one = elapsed(1)
+    four = elapsed(4)
+    assert one / four > 2.0  # real parallel speedup
+
+
+def test_single_thread_parallel_equals_sequential_time_roughly(graph):
+    sequential_out = {}
+    run(pagerank_body(BASE, sequential_out, graph=graph))
+    parallel_out = {}
+    run(parallel_pagerank_body(
+        ParallelPageRankConfig(base=BASE, threads=1), parallel_out, graph=graph
+    ))
+    ratio = (
+        parallel_out["result"].elapsed_ns
+        / sequential_out["result"].elapsed_ns
+    )
+    assert 0.8 < ratio < 1.3
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        ParallelPageRankConfig(threads=0)

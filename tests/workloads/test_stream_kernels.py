@@ -1,0 +1,69 @@
+"""Tests for the full STREAM kernel set."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.os import SimOS
+from repro.sim import Simulator
+from repro.units import MIB
+from repro.workloads.stream import (
+    STREAM_KERNELS,
+    StreamConfig,
+    StreamResult,
+    stream_main_body,
+)
+
+
+def run_stream(config, seed=1):
+    os = SimOS(Machine(Simulator(seed=seed), IVY_BRIDGE))
+    out = {}
+    os.create_thread(stream_main_body(config, out))
+    os.run_to_completion()
+    return out["result"]
+
+
+def test_all_four_kernels_exist():
+    assert set(STREAM_KERNELS) == {"copy", "scale", "add", "triad"}
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(WorkloadError, match="unknown STREAM kernel"):
+        StreamConfig(kernel="fma")
+
+
+@pytest.mark.parametrize("kernel", sorted(STREAM_KERNELS))
+def test_every_kernel_saturates_the_controller(kernel):
+    result = run_stream(StreamConfig(kernel=kernel, array_bytes=128 * MIB))
+    assert result.bandwidth_bytes_per_ns == pytest.approx(
+        IVY_BRIDGE.peak_bw_bytes_per_ns, rel=0.15
+    )
+
+
+def test_bytes_moved_reflects_arrays_touched():
+    copy = StreamResult(StreamConfig(kernel="copy"), elapsed_ns=1.0)
+    add = StreamResult(StreamConfig(kernel="add"), elapsed_ns=1.0)
+    assert add.bytes_moved == pytest.approx(1.5 * copy.bytes_moved)
+
+
+def test_triad_moves_more_physical_traffic_than_copy():
+    """Three-array kernels take ~1.5x the wall time at saturation."""
+    copy = run_stream(StreamConfig(kernel="copy", array_bytes=128 * MIB))
+    triad = run_stream(StreamConfig(kernel="triad", array_bytes=128 * MIB))
+    assert triad.elapsed_ns / copy.elapsed_ns == pytest.approx(1.5, rel=0.1)
+
+
+def test_single_thread_triad_slower_than_copy():
+    """Arithmetic lowers the single-thread attainable bandwidth."""
+    copy = run_stream(
+        StreamConfig(kernel="copy", threads=1, array_bytes=64 * MIB,
+                     compute_cycles_per_element=2.5)
+    )
+    triad = run_stream(
+        StreamConfig(kernel="triad", threads=1, array_bytes=64 * MIB,
+                     compute_cycles_per_element=2.5)
+    )
+    assert (
+        triad.bandwidth_bytes_per_ns > copy.bandwidth_bytes_per_ns
+    )  # 3 arrays counted per element beats the compute overhead
+    assert triad.elapsed_ns > copy.elapsed_ns  # but wall time is longer
