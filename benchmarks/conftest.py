@@ -11,14 +11,24 @@ wall time through pytest-benchmark.  Run with::
 from __future__ import annotations
 
 from repro.validation.reporting import ExperimentResult, render_table
+from repro.validation.runner import consume_run_stats, reset_run_stats
 
 
 def regenerate(benchmark, driver, **kwargs) -> ExperimentResult:
     """Run one experiment driver under the benchmark timer (one round)."""
+    reset_run_stats()
     result = benchmark.pedantic(
         lambda: driver(**kwargs), rounds=1, iterations=1, warmup_rounds=0
     )
     benchmark.extra_info["experiment"] = result.experiment_id
     benchmark.extra_info["rows"] = len(result.rows)
+    stats = consume_run_stats()
+    if stats is not None and stats.runs:
+        benchmark.extra_info["runs"] = stats.runs
+        benchmark.extra_info["events"] = stats.events
+        benchmark.extra_info["calibration_cache_hits"] = stats.calib_hits
+        benchmark.extra_info["calibration_measurements"] = (
+            stats.calib_measurements
+        )
     print("\n" + render_table(result))
     return result

@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Optional, Sequence
@@ -20,6 +21,11 @@ from repro.hw.arch import arch_by_name
 from repro.quartz.calibration import calibrate_arch
 from repro.validation.experiments import REGISTRY
 from repro.validation.reporting import render_table
+from repro.validation.runner import (
+    consume_run_stats,
+    default_cli_jobs,
+    reset_run_stats,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,48 +49,81 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--trials", type=int, help="trial count (where the experiment allows)"
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        help=(
+            "worker processes for the run grid (default: QUARTZ_REPRO_JOBS "
+            "or all cores; results are identical for any job count)"
+        ),
+    )
     run.add_argument("-o", "--output", help="also write the table to a file")
 
     calibrate = subparsers.add_parser(
         "calibrate", help="print the calibration data for a testbed"
     )
     calibrate.add_argument("--arch", default="ivy-bridge")
+    calibrate.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-measure even when a cached calibration exists",
+    )
     return parser
 
 
-def _run_experiment(args: argparse.Namespace) -> int:
-    driver = REGISTRY[args.experiment]
-    kwargs = {}
+def _driver_kwargs(
+    experiment: str, driver, args: argparse.Namespace
+) -> dict:
+    """Map CLI flags onto whichever keyword arguments the driver accepts.
+
+    Flags a driver has no parameter for produce a stderr note instead of
+    a ``TypeError`` mid-run.
+    """
+    parameters = inspect.signature(driver).parameters
+    kwargs: dict = {}
     if args.arch:
         arch = arch_by_name(args.arch)
         # Drivers take either a single arch or a sequence of them.
-        import inspect
-
-        parameters = inspect.signature(driver).parameters
         if "arch" in parameters:
             kwargs["arch"] = arch
         elif "archs" in parameters:
             kwargs["archs"] = [arch]
         else:
             print(
-                f"note: {args.experiment} does not take an architecture",
+                f"note: {experiment} does not take an architecture",
                 file=sys.stderr,
             )
     if args.trials is not None:
-        import inspect
-
-        if "trials" in inspect.signature(driver).parameters:
+        if "trials" in parameters:
             kwargs["trials"] = args.trials
         else:
             print(
-                f"note: {args.experiment} does not take --trials",
+                f"note: {experiment} does not take --trials",
                 file=sys.stderr,
             )
+    if "jobs" in parameters:
+        kwargs["jobs"] = args.jobs if args.jobs else default_cli_jobs()
+    elif args.jobs is not None:
+        print(
+            f"note: {experiment} does not take --jobs (runs in-process)",
+            file=sys.stderr,
+        )
+    return kwargs
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    driver = REGISTRY[args.experiment]
+    kwargs = _driver_kwargs(args.experiment, driver, args)
+    reset_run_stats()
     started = time.time()
     result = driver(**kwargs)
+    wall_s = time.time() - started
     table = render_table(result)
     print(table)
-    print(f"\n(completed in {time.time() - started:.1f}s wall time)")
+    print(f"\n(completed in {wall_s:.1f}s wall time)")
+    stats = consume_run_stats()
+    if stats is not None and stats.runs:
+        print(stats.summary())
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(table + "\n")
@@ -103,7 +142,7 @@ def _list_experiments() -> int:
 
 def _calibrate(args: argparse.Namespace) -> int:
     arch = arch_by_name(args.arch)
-    data = calibrate_arch(arch)
+    data = calibrate_arch(arch, refresh=args.refresh)
     print(f"calibration for {arch.model} ({arch.family}):")
     print(f"  local DRAM latency : {data.dram_local_ns:8.2f} ns")
     print(f"  remote DRAM latency: {data.dram_remote_ns:8.2f} ns")

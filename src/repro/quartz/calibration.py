@@ -14,12 +14,26 @@ streaming kernel) flow into the emulator's accuracy exactly as they do on
 metal.
 
 Results are cached per (architecture, seed): calibration is a one-time,
-per-machine step, like the paper's helper program.
+per-machine step, like the paper's helper program.  Two cache layers
+exist: a process-local dict, and a versioned on-disk JSON cache under
+``~/.cache/quartz-repro/`` (override with ``QUARTZ_REPRO_CACHE_DIR``)
+keyed by (architecture fingerprint, seed, bandwidth points, schema
+version).  The disk cache is what lets parallel experiment workers share
+one calibration pass instead of each re-measuring every testbed; writes
+are atomic (write-temp-then-rename) and corrupted files are treated as
+misses, never errors.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
 
 from repro.errors import CalibrationError
 from repro.hw.arch import ArchSpec
@@ -146,7 +160,146 @@ def _measure_bandwidth(arch: ArchSpec, register: int, seed: int) -> float:
     return stream_threads * bytes_per_thread / elapsed
 
 
-_CACHE: dict[tuple[str, int], CalibrationData] = {}
+#: Bump when the measurement methodology or the file layout changes;
+#: older cache files are then ignored (treated as misses).
+CALIBRATION_CACHE_SCHEMA = 1
+
+_CACHE: dict[tuple[str, int, int], CalibrationData] = {}
+
+
+@dataclass
+class CalibrationCacheCounters:
+    """Observability for the two calibration cache layers."""
+
+    #: Served from the process-local dict.
+    memory_hits: int = 0
+    #: Served from the on-disk JSON cache.
+    disk_hits: int = 0
+    #: Full measurement runs (cold or refreshed).
+    measurements: int = 0
+    #: Disk files rejected (corrupt, stale schema, fingerprint mismatch).
+    rejected_files: int = 0
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (
+            self.memory_hits, self.disk_hits,
+            self.measurements, self.rejected_files,
+        )
+
+
+#: Process-global counters; reset with :func:`reset_cache_counters`.
+cache_counters = CalibrationCacheCounters()
+
+
+def reset_cache_counters() -> None:
+    """Zero the calibration-cache counters (test/CLI hook).
+
+    Mutates in place so references imported elsewhere stay live.
+    """
+    cache_counters.memory_hits = 0
+    cache_counters.disk_hits = 0
+    cache_counters.measurements = 0
+    cache_counters.rejected_files = 0
+
+
+def calibration_cache_dir() -> Path:
+    """Directory holding persisted calibration files.
+
+    ``QUARTZ_REPRO_CACHE_DIR`` overrides; otherwise XDG semantics
+    (``$XDG_CACHE_HOME/quartz-repro`` or ``~/.cache/quartz-repro``).
+    """
+    override = os.environ.get("QUARTZ_REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "quartz-repro"
+
+
+def arch_fingerprint(arch: ArchSpec) -> str:
+    """Stable digest of everything that feeds the measurement.
+
+    Any change to the architecture spec (latencies, cache geometry,
+    counter fidelity, ...) changes the fingerprint and invalidates the
+    persisted calibration for that testbed.
+    """
+    payload = json.dumps(dataclasses.asdict(arch), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _cache_path(arch: ArchSpec, seed: int, bandwidth_points: int) -> Path:
+    return calibration_cache_dir() / (
+        f"calibration-{arch.name}-{arch_fingerprint(arch)}"
+        f"-s{seed}-b{bandwidth_points}"
+        f".v{CALIBRATION_CACHE_SCHEMA}.json"
+    )
+
+
+def _load_cached(
+    arch: ArchSpec, seed: int, bandwidth_points: int
+) -> Optional[CalibrationData]:
+    """Load one persisted calibration; any defect is a miss, not a crash."""
+    path = _cache_path(arch, seed, bandwidth_points)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, UnicodeDecodeError):
+        cache_counters.rejected_files += 1
+        return None
+    try:
+        if payload["schema"] != CALIBRATION_CACHE_SCHEMA:
+            raise ValueError("schema mismatch")
+        if payload["fingerprint"] != arch_fingerprint(arch):
+            raise ValueError("fingerprint mismatch")
+        if payload["seed"] != seed or payload["bandwidth_points"] != bandwidth_points:
+            raise ValueError("key mismatch")
+        table = tuple(
+            (int(register), float(rate))
+            for register, rate in payload["bandwidth_table"]
+        )
+        if not table:
+            raise ValueError("empty bandwidth table")
+        return CalibrationData(
+            arch_name=str(payload["arch_name"]),
+            dram_local_ns=float(payload["dram_local_ns"]),
+            dram_remote_ns=float(payload["dram_remote_ns"]),
+            l3_ns=float(payload["l3_ns"]),
+            bandwidth_table=table,
+        )
+    except (KeyError, TypeError, ValueError):
+        cache_counters.rejected_files += 1
+        return None
+
+
+def _store_cached(
+    arch: ArchSpec, seed: int, bandwidth_points: int, data: CalibrationData
+) -> None:
+    """Persist atomically; an unwritable cache dir is not an error."""
+    path = _cache_path(arch, seed, bandwidth_points)
+    payload = {
+        "schema": CALIBRATION_CACHE_SCHEMA,
+        "fingerprint": arch_fingerprint(arch),
+        "arch_name": data.arch_name,
+        "seed": seed,
+        "bandwidth_points": bandwidth_points,
+        "dram_local_ns": data.dram_local_ns,
+        "dram_remote_ns": data.dram_remote_ns,
+        "l3_ns": data.l3_ns,
+        "bandwidth_table": [list(point) for point in data.bandwidth_table],
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Temp file in the same directory so os.replace stays atomic.
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", encoding="utf-8", dir=path.parent,
+            prefix=path.name + ".", suffix=".tmp", delete=False,
+        )
+        with handle:
+            json.dump(payload, handle)
+        os.replace(handle.name, path)
+    except OSError:
+        return
 
 
 def calibrate_arch(
@@ -154,11 +307,26 @@ def calibrate_arch(
     seed: int = 0,
     bandwidth_points: int = 9,
     use_cache: bool = True,
+    refresh: bool = False,
 ) -> CalibrationData:
-    """Measure one architecture's constants (cached per seed)."""
-    key = (arch.name, seed)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    """Measure one architecture's constants (cached per seed).
+
+    ``use_cache=False`` bypasses both cache layers and stores nothing;
+    ``refresh=True`` ignores existing entries but overwrites them with
+    the fresh measurement (the ``quartz-repro calibrate --refresh``
+    escape hatch).
+    """
+    key = (arch.name, seed, bandwidth_points)
+    if use_cache and not refresh:
+        if key in _CACHE:
+            cache_counters.memory_hits += 1
+            return _CACHE[key]
+        cached = _load_cached(arch, seed, bandwidth_points)
+        if cached is not None:
+            cache_counters.disk_hits += 1
+            _CACHE[key] = cached
+            return cached
+    cache_counters.measurements += 1
     dram_local = _measure_chase_latency(
         arch, node=0, footprint_bytes=4 * GIB, accesses=20_000, seed=seed
     )
@@ -190,4 +358,5 @@ def calibrate_arch(
     )
     if use_cache:
         _CACHE[key] = data
+        _store_cached(arch, seed, bandwidth_points, data)
     return data

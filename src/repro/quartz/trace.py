@@ -12,8 +12,9 @@ is overhead amortising?*
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import QuartzError
 from repro.quartz.stats import EpochTrigger
@@ -40,15 +41,18 @@ class EpochRecord:
 class EpochTrace:
     """A growable trace of epoch closes, with summary analytics."""
 
-    records: list[EpochRecord] = field(default_factory=list)
+    records: Sequence[EpochRecord] = field(default_factory=list)
     #: Cap to keep long runs bounded; oldest records are dropped.
     max_records: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        # A bounded deque evicts from the front in O(1); the old list
+        # implementation paid O(n) per record once the cap was reached.
+        self.records = deque(self.records, maxlen=self.max_records)
 
     def record(self, record: EpochRecord) -> None:
         """Append one record (drops the oldest past ``max_records``)."""
         self.records.append(record)
-        if len(self.records) > self.max_records:
-            del self.records[: len(self.records) - self.max_records]
 
     # ------------------------------------------------------------------
     # Queries

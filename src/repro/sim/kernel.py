@@ -68,12 +68,22 @@ class Simulator:
         self,
         until_ns: Optional[float] = None,
         max_events: Optional[int] = None,
-    ) -> None:
+    ) -> str:
         """Run until the event heap drains, *until_ns* passes, or
         *max_events* more events have been dispatched.
 
-        When stopped by ``until_ns`` the clock is advanced to exactly
-        ``until_ns`` (undispatched later events stay queued).
+        Returns the stop reason:
+
+        * ``"drained"`` — no pending events remain.  With ``until_ns``
+          the clock still advances to the horizon.
+        * ``"until"`` — the next pending event lies beyond ``until_ns``;
+          the clock is advanced to exactly ``until_ns`` (later events
+          stay queued).
+        * ``"max-events"`` — the budget ran out with events still
+          pending inside the horizon.  The clock advances to the earlier
+          of the next pending event and ``until_ns``, so the two bounds
+          compose: time never passes an undispatched event and never
+          passes the horizon.
         """
         budget = max_events
         while self._heap:
@@ -82,14 +92,17 @@ class Simulator:
                 break
             if until_ns is not None and event.time > until_ns:
                 self.now = max(self.now, until_ns)
-                return
+                return "until"
             if budget is not None:
                 if budget <= 0:
-                    return
+                    if until_ns is not None:
+                        self.now = max(self.now, min(event.time, until_ns))
+                    return "max-events"
                 budget -= 1
             self.step()
         if until_ns is not None:
             self.now = max(self.now, until_ns)
+        return "drained"
 
     def run_until_condition(
         self,

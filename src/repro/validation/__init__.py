@@ -6,21 +6,28 @@ latency) and **Conf_2** (memory physically bound to the remote socket via
 the numactl analogue).  Emulation error compares the two.
 
 ``repro.validation.experiments`` has one module per table/figure; see
-DESIGN.md's experiment index.
+DESIGN.md's experiment index.  ``repro.validation.runner`` executes
+declarative grids of runs (:class:`RunSpec`), optionally across worker
+processes, with byte-identical results for any job count.
 """
 
 from repro.validation.configs import RunOutcome, run_conf1, run_conf2, run_native
 from repro.validation.metrics import TrialStats, relative_error, summarize
 from repro.validation.reporting import ExperimentResult, render_table
+from repro.validation.runner import RunResult, RunSpec, RunnerStats, run_specs
 
 __all__ = [
     "ExperimentResult",
     "RunOutcome",
+    "RunResult",
+    "RunSpec",
+    "RunnerStats",
     "TrialStats",
     "relative_error",
     "render_table",
     "run_conf1",
     "run_conf2",
     "run_native",
+    "run_specs",
     "summarize",
 ]

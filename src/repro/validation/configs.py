@@ -91,3 +91,50 @@ def run_native(
     machine = Machine(sim, arch, latency_jitter=True)
     os = SimOS(machine, default_cpu_node=0)
     return _drive(os, body_factory)
+
+
+def _drive_default_thread(os: SimOS, body_factory: BodyFactory) -> RunOutcome:
+    """Like :func:`_drive` but with the OS-assigned thread name.
+
+    The Table 2 / Figure 8 measurement loops predate the Conf_1/Conf_2
+    helpers and create their thread unnamed; thread names key the random
+    streams, so the distinction is load-bearing for reproducibility.
+    """
+    out: dict = {}
+    start = os.sim.now
+    os.create_thread(body_factory(out))
+    os.run_to_completion()
+    return RunOutcome(
+        workload_result=out.get("result"),
+        elapsed_ns=os.sim.now - start,
+        machine=os.machine,
+    )
+
+
+def run_chase(
+    arch: ArchSpec, body_factory: BodyFactory, seed: int = 0, mem_node: int = 0
+) -> RunOutcome:
+    """Raw latency measurement: memory bound to *mem_node*, no emulator.
+
+    The Table 2 configuration — node 0 gives the local-DRAM row, node 1
+    the remote one.
+    """
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch, latency_jitter=True)
+    os = SimOS(machine, default_cpu_node=0, default_mem_node=mem_node)
+    return _drive_default_thread(os, body_factory)
+
+
+def run_throttled(
+    arch: ArchSpec, body_factory: BodyFactory, seed: int = 0, register: int = 0
+) -> RunOutcome:
+    """Bandwidth measurement under one thermal-throttle register setting.
+
+    The Figure 8 configuration: no latency jitter, no emulator, the
+    node-0 controller programmed before the workload starts.
+    """
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch)
+    machine.controller(0).program_throttle_register(register, privileged=True)
+    os = SimOS(machine, default_cpu_node=0)
+    return _drive_default_thread(os, body_factory)

@@ -1,5 +1,10 @@
 """Application experiments: Figure 15, the PageRank validation number,
-Figure 16 sensitivity sweeps, and the Graph500 extended validation."""
+Figure 16 sensitivity sweeps, and the Graph500 extended validation.
+
+Grids are declarative :class:`~repro.validation.runner.RunSpec` units;
+graphs are generated once in the driver and shipped to workers inside
+the spec (CSR arrays pickle cleanly).
+"""
 
 from __future__ import annotations
 
@@ -9,20 +14,13 @@ from repro.hw.arch import SANDY_BRIDGE, ArchSpec
 from repro.quartz.calibration import calibrate_arch
 from repro.quartz.config import QuartzConfig
 from repro.units import ns_to_ms
-from repro.validation.configs import run_conf1, run_conf2, run_native
 from repro.validation.metrics import relative_error
 from repro.validation.reporting import ExperimentResult
-from repro.workloads.graph500 import Graph500Config, graph500_body
+from repro.validation.runner import RunSpec, run_specs
+from repro.workloads.graph500 import Graph500Config
 from repro.workloads.graphs import CsrGraph, synthetic_scale_free
-from repro.workloads.kvstore import KvStoreConfig, kvstore_main_body
-from repro.workloads.pagerank import PageRankConfig, pagerank_body
-
-
-def _kv_factory(workload: KvStoreConfig):
-    def factory(out):
-        return kvstore_main_body(workload, out)
-
-    return factory
+from repro.workloads.kvstore import KvStoreConfig
+from repro.workloads.pagerank import PageRankConfig
 
 
 def run_figure15(
@@ -30,6 +28,7 @@ def run_figure15(
     thread_counts: Sequence[int] = (1, 2, 4, 8),
     puts_per_thread: int = 8_000,
     gets_per_thread: int = 8_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 15: KV-store (MassTree stand-in) validation errors.
 
@@ -44,16 +43,29 @@ def run_figure15(
     )
     calibration = calibrate_arch(arch)
     config = QuartzConfig(nvm_read_latency_ns=calibration.dram_remote_ns)
+    specs = []
     for threads in thread_counts:
         workload = KvStoreConfig(
             puts_per_thread=puts_per_thread,
             gets_per_thread=gets_per_thread,
             threads=threads,
         )
-        emulated = run_conf1(
-            arch, _kv_factory(workload), config, seed=700, calibration=calibration
-        ).workload_result
-        physical = run_conf2(arch, _kv_factory(workload), seed=700).workload_result
+        specs.append(
+            RunSpec(
+                workload="kvstore", config=workload, arch_name=arch.name,
+                mode="conf1", seed=700, quartz=config,
+            )
+        )
+        specs.append(
+            RunSpec(
+                workload="kvstore", config=workload, arch_name=arch.name,
+                mode="conf2", seed=700,
+            )
+        )
+    results = iter(run_specs(specs, jobs=jobs))
+    for threads in thread_counts:
+        emulated = next(results).workload_result
+        physical = next(results).workload_result
         result.add_row(
             processor=arch.family,
             threads=threads,
@@ -73,6 +85,7 @@ def run_pagerank_validation(
     arch: ArchSpec = SANDY_BRIDGE,
     workload: Optional[PageRankConfig] = None,
     graph: Optional[CsrGraph] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Section 4.7: single-threaded PageRank completion-time error.
 
@@ -85,12 +98,17 @@ def run_pagerank_validation(
         )
     calibration = calibrate_arch(arch)
     config = QuartzConfig(nvm_read_latency_ns=calibration.dram_remote_ns)
-
-    def factory(out):
-        return pagerank_body(workload, out, graph=graph)
-
-    emulated = run_conf1(arch, factory, config, seed=710, calibration=calibration)
-    physical = run_conf2(arch, factory, seed=710)
+    specs = [
+        RunSpec(
+            workload="pagerank", config=workload, arch_name=arch.name,
+            mode="conf1", seed=710, quartz=config, extras={"graph": graph},
+        ),
+        RunSpec(
+            workload="pagerank", config=workload, arch_name=arch.name,
+            mode="conf2", seed=710, extras={"graph": graph},
+        ),
+    ]
+    emulated, physical = run_specs(specs, jobs=jobs)
     result = ExperimentResult(
         experiment_id="pagerank-validation",
         title="PageRank completion-time validation",
@@ -122,6 +140,7 @@ def run_graph500_validation(
     arch: ArchSpec = SANDY_BRIDGE,
     workload: Optional[Graph500Config] = None,
     graph: Optional[CsrGraph] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Section 7: Graph500 BFS completion-time error (paper: <12%)."""
     workload = workload or Graph500Config(roots=2)
@@ -131,12 +150,17 @@ def run_graph500_validation(
         )
     calibration = calibrate_arch(arch)
     config = QuartzConfig(nvm_read_latency_ns=calibration.dram_remote_ns)
-
-    def factory(out):
-        return graph500_body(workload, out, graph=graph)
-
-    emulated = run_conf1(arch, factory, config, seed=720, calibration=calibration)
-    physical = run_conf2(arch, factory, seed=720)
+    specs = [
+        RunSpec(
+            workload="graph500", config=workload, arch_name=arch.name,
+            mode="conf1", seed=720, quartz=config, extras={"graph": graph},
+        ),
+        RunSpec(
+            workload="graph500", config=workload, arch_name=arch.name,
+            mode="conf2", seed=720, extras={"graph": graph},
+        ),
+    ]
+    emulated, physical = run_specs(specs, jobs=jobs)
     result = ExperimentResult(
         experiment_id="graph500-validation",
         title="Graph500 BFS completion-time validation",
@@ -162,6 +186,7 @@ def run_figure16_latency(
     ),
     pagerank: Optional[PageRankConfig] = None,
     kv: Optional[KvStoreConfig] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 16(a)/(c): sensitivity to NVM read latency.
 
@@ -177,13 +202,37 @@ def run_figure16_latency(
         pagerank.vertex_count, pagerank.edges_per_vertex, seed=pagerank.seed
     )
     calibration = calibrate_arch(arch)
-
-    def pr_factory(out):
-        return pagerank_body(pagerank, out, graph=graph)
-
-    kv_factory = _kv_factory(kv)
-    baseline_pr = run_native(arch, pr_factory, seed=730).workload_result
-    baseline_kv = run_native(arch, kv_factory, seed=730).workload_result
+    specs = [
+        RunSpec(
+            workload="pagerank", config=pagerank, arch_name=arch.name,
+            mode="native", seed=730, extras={"graph": graph},
+        ),
+        RunSpec(
+            workload="kvstore", config=kv, arch_name=arch.name,
+            mode="native", seed=730,
+        ),
+    ]
+    emulated_targets = [
+        target for target in target_latencies_ns
+        if target > calibration.dram_local_ns
+    ]
+    for target in emulated_targets:
+        config = QuartzConfig(nvm_read_latency_ns=target)
+        specs.append(
+            RunSpec(
+                workload="pagerank", config=pagerank, arch_name=arch.name,
+                mode="conf1", seed=730, quartz=config, extras={"graph": graph},
+            )
+        )
+        specs.append(
+            RunSpec(
+                workload="kvstore", config=kv, arch_name=arch.name,
+                mode="conf1", seed=730, quartz=config,
+            )
+        )
+    results = iter(run_specs(specs, jobs=jobs))
+    baseline_pr = next(results).workload_result
+    baseline_kv = next(results).workload_result
     result = ExperimentResult(
         experiment_id="figure16-latency",
         title="PageRank and KV-store sensitivity to NVM latency",
@@ -192,20 +241,15 @@ def run_figure16_latency(
         ],
     )
     for target in target_latencies_ns:
-        if target <= calibration.dram_local_ns:
+        if target not in emulated_targets:
             # The DRAM point itself: the baseline.
             result.add_row(
                 nvm_latency_ns=target, pagerank_ct_rel=1.0,
                 kv_puts_rel=1.0, kv_gets_rel=1.0,
             )
             continue
-        config = QuartzConfig(nvm_read_latency_ns=target)
-        pr = run_conf1(
-            arch, pr_factory, config, seed=730, calibration=calibration
-        ).workload_result
-        kv_result = run_conf1(
-            arch, kv_factory, config, seed=730, calibration=calibration
-        ).workload_result
+        pr = next(results).workload_result
+        kv_result = next(results).workload_result
         result.add_row(
             nvm_latency_ns=target,
             pagerank_ct_rel=pr.elapsed_ns / baseline_pr.elapsed_ns,
@@ -224,6 +268,7 @@ def run_figure16_bandwidth(
     bandwidths_gbps: Sequence[float] = (0.5, 1.0, 1.5, 3.0, 5.0, 10.0, 20.0),
     pagerank: Optional[PageRankConfig] = None,
     kv: Optional[KvStoreConfig] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 16(b)/(d): sensitivity to NVM bandwidth.
 
@@ -238,13 +283,37 @@ def run_figure16_bandwidth(
         pagerank.vertex_count, pagerank.edges_per_vertex, seed=pagerank.seed
     )
     calibration = calibrate_arch(arch)
-
-    def pr_factory(out):
-        return pagerank_body(pagerank, out, graph=graph)
-
-    kv_factory = _kv_factory(kv)
-    baseline_pr = run_native(arch, pr_factory, seed=740).workload_result
-    baseline_kv = run_native(arch, kv_factory, seed=740).workload_result
+    bandwidths = sorted(bandwidths_gbps)
+    specs = [
+        RunSpec(
+            workload="pagerank", config=pagerank, arch_name=arch.name,
+            mode="native", seed=740, extras={"graph": graph},
+        ),
+        RunSpec(
+            workload="kvstore", config=kv, arch_name=arch.name,
+            mode="native", seed=740,
+        ),
+    ]
+    for bandwidth in bandwidths:
+        config = QuartzConfig(
+            nvm_read_latency_ns=calibration.dram_local_ns * 1.001,
+            nvm_bandwidth_gbps=bandwidth,
+        )
+        specs.append(
+            RunSpec(
+                workload="pagerank", config=pagerank, arch_name=arch.name,
+                mode="conf1", seed=740, quartz=config, extras={"graph": graph},
+            )
+        )
+        specs.append(
+            RunSpec(
+                workload="kvstore", config=kv, arch_name=arch.name,
+                mode="conf1", seed=740, quartz=config,
+            )
+        )
+    results = iter(run_specs(specs, jobs=jobs))
+    baseline_pr = next(results).workload_result
+    baseline_kv = next(results).workload_result
     result = ExperimentResult(
         experiment_id="figure16-bandwidth",
         title="PageRank and KV-store sensitivity to NVM bandwidth",
@@ -252,17 +321,9 @@ def run_figure16_bandwidth(
             "nvm_bandwidth_gbps", "pagerank_ct_rel", "kv_puts_rel", "kv_gets_rel",
         ],
     )
-    for bandwidth in sorted(bandwidths_gbps):
-        config = QuartzConfig(
-            nvm_read_latency_ns=calibration.dram_local_ns * 1.001,
-            nvm_bandwidth_gbps=bandwidth,
-        )
-        pr = run_conf1(
-            arch, pr_factory, config, seed=740, calibration=calibration
-        ).workload_result
-        kv_result = run_conf1(
-            arch, kv_factory, config, seed=740, calibration=calibration
-        ).workload_result
+    for bandwidth in bandwidths:
+        pr = next(results).workload_result
+        kv_result = next(results).workload_result
         result.add_row(
             nvm_bandwidth_gbps=bandwidth,
             pagerank_ct_rel=pr.elapsed_ns / baseline_pr.elapsed_ns,

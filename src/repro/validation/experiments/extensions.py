@@ -24,23 +24,13 @@ from repro.quartz.emulator import Quartz
 from repro.quartz.presets import ALL_TECHNOLOGIES, NvmTechnology
 from repro.sim import Simulator
 from repro.units import MIB, MILLISECOND, ns_to_ms
-from repro.validation.configs import run_conf1, run_conf2, run_native
 from repro.validation.metrics import relative_error
 from repro.validation.reporting import ExperimentResult
+from repro.validation.runner import RunSpec, run_specs
 from repro.workloads.graphs import CsrGraph
-from repro.workloads.kvstore import KvStoreConfig, kvstore_main_body
+from repro.workloads.kvstore import KvStoreConfig
 from repro.workloads.pagerank import PageRankConfig, default_graph
-from repro.workloads.pagerank_parallel import (
-    ParallelPageRankConfig,
-    parallel_pagerank_body,
-)
-
-
-def _kv_factory(workload: KvStoreConfig):
-    def factory(out):
-        return kvstore_main_body(workload, out)
-
-    return factory
+from repro.workloads.pagerank_parallel import ParallelPageRankConfig
 
 
 def run_parallel_pagerank(
@@ -48,6 +38,7 @@ def run_parallel_pagerank(
     thread_counts: Sequence[int] = (1, 2, 4, 8),
     base: Optional[PageRankConfig] = None,
     graph: Optional[CsrGraph] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Barrier-synchronised PageRank: emulation error + speedup."""
     base = base or PageRankConfig(
@@ -66,17 +57,28 @@ def run_parallel_pagerank(
             "speedup_emulated",
         ],
     )
-    single_emulated_ns = None
+    specs = []
     for threads in thread_counts:
         workload = ParallelPageRankConfig(base=base, threads=threads)
-
-        def factory(out, workload=workload):
-            return parallel_pagerank_body(workload, out, graph=graph)
-
-        emulated = run_conf1(
-            arch, factory, config, seed=900, calibration=calibration
-        ).workload_result
-        physical = run_conf2(arch, factory, seed=900).workload_result
+        specs.append(
+            RunSpec(
+                workload="parallel-pagerank", config=workload,
+                arch_name=arch.name, mode="conf1", seed=900, quartz=config,
+                extras={"graph": graph},
+            )
+        )
+        specs.append(
+            RunSpec(
+                workload="parallel-pagerank", config=workload,
+                arch_name=arch.name, mode="conf2", seed=900,
+                extras={"graph": graph},
+            )
+        )
+    results = iter(run_specs(specs, jobs=jobs))
+    single_emulated_ns = None
+    for threads in thread_counts:
+        emulated = next(results).workload_result
+        physical = next(results).workload_result
         if single_emulated_ns is None:
             single_emulated_ns = emulated.elapsed_ns
         result.add_row(
@@ -235,6 +237,7 @@ def run_kv_write_models(
     arch: ArchSpec = IVY_BRIDGE,
     write_latency_ns: float = 1000.0,
     kv: Optional[KvStoreConfig] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Persistent KV-store puts under the two write models (Section 6).
 
@@ -252,9 +255,27 @@ def run_kv_write_models(
         puts_per_thread=20_000, gets_per_thread=1, flush_writes=True
     )
     calibration = calibrate_arch(arch)
-    baseline = run_native(
-        arch, _kv_factory(dc_replace(kv, flush_writes=False)), seed=66
-    ).workload_result
+    models = (WriteModel.PFLUSH, WriteModel.PCOMMIT)
+    specs = [
+        RunSpec(
+            workload="kvstore", config=dc_replace(kv, flush_writes=False),
+            arch_name=arch.name, mode="native", seed=66,
+        )
+    ]
+    for model in models:
+        config = QuartzConfig(
+            nvm_read_latency_ns=calibration.dram_local_ns * 1.001,
+            nvm_write_latency_ns=write_latency_ns,
+            write_model=model,
+        )
+        specs.append(
+            RunSpec(
+                workload="kvstore", config=kv, arch_name=arch.name,
+                mode="conf1", seed=66, quartz=config,
+            )
+        )
+    runs = run_specs(specs, jobs=jobs)
+    baseline = runs[0].workload_result
     result = ExperimentResult(
         experiment_id="kv-write-models",
         title="Persistent KV-store put throughput vs write model",
@@ -265,15 +286,8 @@ def run_kv_write_models(
         puts_per_second=baseline.puts_per_second,
         puts_rel=1.0,
     )
-    for model in (WriteModel.PFLUSH, WriteModel.PCOMMIT):
-        config = QuartzConfig(
-            nvm_read_latency_ns=calibration.dram_local_ns * 1.001,
-            nvm_write_latency_ns=write_latency_ns,
-            write_model=model,
-        )
-        outcome = run_conf1(
-            arch, _kv_factory(kv), config, seed=66, calibration=calibration
-        ).workload_result
+    for model, run in zip(models, runs[1:]):
+        outcome = run.workload_result
         result.add_row(
             write_model=model.value,
             puts_per_second=outcome.puts_per_second,
@@ -291,15 +305,27 @@ def run_technology_comparison(
     arch: ArchSpec = IVY_BRIDGE,
     technologies: Sequence[NvmTechnology] = ALL_TECHNOLOGIES,
     kv: Optional[KvStoreConfig] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """KV-store throughput across NVM technology presets."""
     kv = kv or KvStoreConfig(puts_per_thread=30_000, gets_per_thread=30_000)
-    calibration = calibrate_arch(arch)
-
-    def factory(out):
-        return kvstore_main_body(kv, out)
-
-    baseline = run_native(arch, factory, seed=55).workload_result
+    calibrate_arch(arch)
+    specs = [
+        RunSpec(
+            workload="kvstore", config=kv, arch_name=arch.name,
+            mode="native", seed=55,
+        )
+    ]
+    for technology in technologies:
+        specs.append(
+            RunSpec(
+                workload="kvstore", config=kv, arch_name=arch.name,
+                mode="conf1", seed=55,
+                quartz=technology.quartz_config(nvm_write_latency_ns=None),
+            )
+        )
+    runs = run_specs(specs, jobs=jobs)
+    baseline = runs[0].workload_result
     result = ExperimentResult(
         experiment_id="technology-comparison",
         title="KV-store throughput across NVM technologies",
@@ -308,11 +334,8 @@ def run_technology_comparison(
             "puts_rel", "gets_rel",
         ],
     )
-    for technology in technologies:
-        config = technology.quartz_config(nvm_write_latency_ns=None)
-        outcome = run_conf1(
-            arch, factory, config, seed=55, calibration=calibration
-        ).workload_result
+    for technology, run in zip(technologies, runs[1:]):
+        outcome = run.workload_result
         result.add_row(
             technology=technology.name,
             read_ns=technology.read_latency_ns,

@@ -1,27 +1,33 @@
 """Microbenchmark experiments: Table 2, Figures 8, 11, 12, and the
-max-epoch sweep of Section 4.4 footnote 4."""
+max-epoch sweep of Section 4.4 footnote 4.
+
+Every driver builds its (arch x parameter x trial) grid as declarative
+:class:`~repro.validation.runner.RunSpec` units and hands it to
+:func:`~repro.validation.runner.run_specs`, so ``jobs=N`` fans the grid
+over worker processes with byte-identical tables.
+"""
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
 from repro.hw.arch import ALL_ARCHS, SANDY_BRIDGE, ArchSpec
-from repro.hw.machine import Machine
 from repro.hw.memory import THROTTLE_REGISTER_MAX
-from repro.os.system import SimOS
 from repro.quartz.calibration import calibrate_arch
 from repro.quartz.config import QuartzConfig
-from repro.sim import Simulator
 from repro.units import MILLISECOND
-from repro.validation.configs import run_conf1, run_conf2
 from repro.validation.metrics import relative_error, summarize
 from repro.validation.reporting import ExperimentResult
-from repro.workloads.memlat import MemLatConfig, memlat_body
-from repro.workloads.stream import StreamConfig, stream_main_body
+from repro.validation.runner import RunSpec, run_specs
+from repro.workloads.memlat import MemLatConfig
+from repro.workloads.stream import StreamConfig
 
 
 def run_table2(
-    archs: Sequence[ArchSpec] = ALL_ARCHS, trials: int = 3, iterations: int = 40_000
+    archs: Sequence[ArchSpec] = ALL_ARCHS,
+    trials: int = 3,
+    iterations: int = 40_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Table 2: measured local/remote DRAM latencies on each testbed."""
     result = ExperimentResult(
@@ -32,19 +38,28 @@ def run_table2(
             "min_remote", "avg_remote", "max_remote",
         ],
     )
+    specs = [
+        RunSpec(
+            workload="memlat",
+            config=MemLatConfig(iterations=iterations),
+            arch_name=arch.name,
+            mode="chase",
+            seed=100 + trial,
+            extras={"mem_node": node},
+        )
+        for arch in archs
+        for node in (0, 1)
+        for trial in range(trials)
+    ]
+    results = iter(run_specs(specs, jobs=jobs))
     for arch in archs:
-        latencies = {0: [], 1: []}
-        for node in (0, 1):
-            for trial in range(trials):
-                sim = Simulator(seed=100 + trial)
-                machine = Machine(sim, arch, latency_jitter=True)
-                os = SimOS(machine, default_cpu_node=0, default_mem_node=node)
-                out: dict = {}
-                os.create_thread(
-                    memlat_body(MemLatConfig(iterations=iterations), out)
-                )
-                os.run_to_completion()
-                latencies[node].append(out["result"].measured_latency_ns)
+        latencies = {
+            node: [
+                next(results).workload_result.measured_latency_ns
+                for _ in range(trials)
+            ]
+            for node in (0, 1)
+        }
         local = summarize(latencies[0])
         remote = summarize(latencies[1])
         result.add_row(
@@ -61,6 +76,7 @@ def run_figure8(
     arch: ArchSpec = SANDY_BRIDGE,
     register_points: int = 13,
     stream_config: Optional[StreamConfig] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 8: STREAM copy bandwidth vs. thermal-control register."""
     # Single-threaded copy, as in the paper's Figure 8: the curve rises
@@ -74,18 +90,25 @@ def run_figure8(
         title=f"STREAM copy bandwidth vs throttle register ({arch.family})",
         columns=["register", "bandwidth_gbps"],
     )
-    for index in range(register_points):
-        register = round(index * THROTTLE_REGISTER_MAX / (register_points - 1))
-        sim = Simulator(seed=7)
-        machine = Machine(sim, arch)
-        machine.controller(0).program_throttle_register(register, privileged=True)
-        os = SimOS(machine, default_cpu_node=0)
-        out: dict = {}
-        os.create_thread(stream_main_body(stream_config, out))
-        os.run_to_completion()
+    registers = [
+        round(index * THROTTLE_REGISTER_MAX / (register_points - 1))
+        for index in range(register_points)
+    ]
+    specs = [
+        RunSpec(
+            workload="stream",
+            config=stream_config,
+            arch_name=arch.name,
+            mode="throttled",
+            seed=7,
+            extras={"register": register},
+        )
+        for register in registers
+    ]
+    for register, run in zip(registers, run_specs(specs, jobs=jobs)):
         result.add_row(
             register=register,
-            bandwidth_gbps=out["result"].bandwidth_bytes_per_ns,
+            bandwidth_gbps=run.workload_result.bandwidth_bytes_per_ns,
         )
     result.note(
         "bandwidth rises linearly in register space until the application's "
@@ -99,6 +122,7 @@ def run_figure11(
     chain_counts: Sequence[int] = (1, 2, 3, 4, 5, 8),
     iterations: int = 250_000,
     trials: int = 3,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 11: MemLat emulation error vs. memory-access parallelism.
 
@@ -110,6 +134,7 @@ def run_figure11(
         title="MemLat emulation error vs concurrent pointer chains",
         columns=["processor", "chains", "error_pct"],
     )
+    specs = []
     for arch in archs:
         calibration = calibrate_arch(arch)
         # 1 ms epochs (footnote 4: as accurate as 10 ms) keep the
@@ -119,18 +144,27 @@ def run_figure11(
             max_epoch_ns=1.0 * MILLISECOND,
         )
         for chains in chain_counts:
-            errors = []
             for trial in range(trials):
                 memlat = MemLatConfig(iterations=iterations, chains=chains)
-
-                def factory(out, memlat=memlat):
-                    return memlat_body(memlat, out)
-
-                emulated = run_conf1(
-                    arch, factory, config, seed=200 + trial,
-                    calibration=calibration,
+                specs.append(
+                    RunSpec(
+                        workload="memlat", config=memlat, arch_name=arch.name,
+                        mode="conf1", seed=200 + trial, quartz=config,
+                    )
                 )
-                physical = run_conf2(arch, factory, seed=200 + trial)
+                specs.append(
+                    RunSpec(
+                        workload="memlat", config=memlat, arch_name=arch.name,
+                        mode="conf2", seed=200 + trial,
+                    )
+                )
+    results = iter(run_specs(specs, jobs=jobs))
+    for arch in archs:
+        for chains in chain_counts:
+            errors = []
+            for _ in range(trials):
+                emulated = next(results)
+                physical = next(results)
                 errors.append(
                     relative_error(
                         emulated.workload_result.elapsed_ns,
@@ -151,6 +185,7 @@ def run_figure12(
     target_latencies_ns: Sequence[float] = (200.0, 400.0, 600.0, 800.0, 1000.0),
     iterations: int = 250_000,
     trials: int = 5,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 12: MemLat-measured latency vs. emulation target."""
     result = ExperimentResult(
@@ -161,22 +196,28 @@ def run_figure12(
             "spread_ns", "error_pct",
         ],
     )
-    for arch in archs:
-        calibration = calibrate_arch(arch)
-        for target in target_latencies_ns:
-            config = QuartzConfig(
+    specs = [
+        RunSpec(
+            workload="memlat",
+            config=MemLatConfig(iterations=iterations),
+            arch_name=arch.name,
+            mode="conf1",
+            seed=300 + trial,
+            quartz=QuartzConfig(
                 nvm_read_latency_ns=target, max_epoch_ns=1.0 * MILLISECOND
-            )
-            measured = []
-            for trial in range(trials):
-                def factory(out):
-                    return memlat_body(MemLatConfig(iterations=iterations), out)
-
-                outcome = run_conf1(
-                    arch, factory, config, seed=300 + trial,
-                    calibration=calibration,
-                )
-                measured.append(outcome.workload_result.measured_latency_ns)
+            ),
+        )
+        for arch in archs
+        for target in target_latencies_ns
+        for trial in range(trials)
+    ]
+    results = iter(run_specs(specs, jobs=jobs))
+    for arch in archs:
+        for target in target_latencies_ns:
+            measured = [
+                next(results).workload_result.measured_latency_ns
+                for _ in range(trials)
+            ]
             stats = summarize(measured)
             result.add_row(
                 processor=arch.family,
@@ -197,6 +238,7 @@ def run_epoch_size_study(
     target_ns: float = 600.0,
     iterations: int = 600_000,
     trials: int = 3,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Section 4.4 footnote 4: accuracy vs. maximum epoch size.
 
@@ -208,22 +250,28 @@ def run_epoch_size_study(
         title="MemLat emulation error vs maximum epoch size",
         columns=["max_epoch_ms", "measured_ns", "error_pct"],
     )
-    calibration = calibrate_arch(arch)
-    for max_epoch_ms in max_epochs_ms:
-        config = QuartzConfig(
-            nvm_read_latency_ns=target_ns,
-            max_epoch_ns=max_epoch_ms * MILLISECOND,
-            min_epoch_ns=min(0.1 * MILLISECOND, max_epoch_ms * MILLISECOND),
+    specs = [
+        RunSpec(
+            workload="memlat",
+            config=MemLatConfig(iterations=iterations),
+            arch_name=arch.name,
+            mode="conf1",
+            seed=400 + trial,
+            quartz=QuartzConfig(
+                nvm_read_latency_ns=target_ns,
+                max_epoch_ns=max_epoch_ms * MILLISECOND,
+                min_epoch_ns=min(0.1 * MILLISECOND, max_epoch_ms * MILLISECOND),
+            ),
         )
-        measured = []
-        for trial in range(trials):
-            def factory(out):
-                return memlat_body(MemLatConfig(iterations=iterations), out)
-
-            outcome = run_conf1(
-                arch, factory, config, seed=400 + trial, calibration=calibration
-            )
-            measured.append(outcome.workload_result.measured_latency_ns)
+        for max_epoch_ms in max_epochs_ms
+        for trial in range(trials)
+    ]
+    results = iter(run_specs(specs, jobs=jobs))
+    for max_epoch_ms in max_epochs_ms:
+        measured = [
+            next(results).workload_result.measured_latency_ns
+            for _ in range(trials)
+        ]
         mean = summarize(measured).mean
         result.add_row(
             max_epoch_ms=max_epoch_ms,

@@ -13,7 +13,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.hw.arch import IVY_BRIDGE, ArchSpec
 from repro.hw.machine import Machine
@@ -30,14 +30,16 @@ from repro.quartz.counters import PAPI_BACKEND, RDPMC_BACKEND
 from repro.quartz.emulator import Quartz
 from repro.sim import Simulator
 from repro.units import MIB, MILLISECOND
-from repro.validation.configs import run_conf1, run_native
 from repro.validation.metrics import relative_error
 from repro.validation.reporting import ExperimentResult
+from repro.validation.runner import RunSpec, run_specs
 from repro.workloads.memlat import MemLatConfig, memlat_body
 
 
 def run_overhead_study(
-    arch: ArchSpec = IVY_BRIDGE, iterations: int = 400_000
+    arch: ArchSpec = IVY_BRIDGE,
+    iterations: int = 400_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Section 3.2: the emulator's own costs and their amortisation."""
     calibration = calibrate_arch(arch)
@@ -68,21 +70,43 @@ def run_overhead_study(
         paper_reference="~30,000 cycles (~8x the rdpmc epoch)",
     )
 
-    # Switched-off injection: epoch machinery on, delays off.
-    def factory(out):
-        return memlat_body(MemLatConfig(iterations=iterations), out)
-
-    native = run_native(arch, factory, seed=800).workload_result
-    for backend in ("rdpmc", "papi"):
-        config = QuartzConfig(
-            nvm_read_latency_ns=calibration.dram_remote_ns,
-            injection_enabled=False,
-            counter_backend=backend,
-            max_epoch_ns=0.5 * MILLISECOND,
+    # Switched-off injection: epoch machinery on, delays off.  These four
+    # runs (native baseline, two switched-off backends, the amortisation
+    # run) fan out through the runner.
+    memlat = MemLatConfig(iterations=iterations)
+    specs = [
+        RunSpec(
+            workload="memlat", config=memlat, arch_name=arch.name,
+            mode="native", seed=800,
         )
-        switched_off = run_conf1(
-            arch, factory, config, seed=800, calibration=calibration
-        ).workload_result
+    ]
+    for backend in ("rdpmc", "papi"):
+        specs.append(
+            RunSpec(
+                workload="memlat", config=memlat, arch_name=arch.name,
+                mode="conf1", seed=800,
+                quartz=QuartzConfig(
+                    nvm_read_latency_ns=calibration.dram_remote_ns,
+                    injection_enabled=False,
+                    counter_backend=backend,
+                    max_epoch_ns=0.5 * MILLISECOND,
+                ),
+            )
+        )
+    specs.append(
+        RunSpec(
+            workload="memlat", config=memlat, arch_name=arch.name,
+            mode="conf1", seed=800,
+            quartz=QuartzConfig(
+                nvm_read_latency_ns=calibration.dram_remote_ns,
+                max_epoch_ns=0.5 * MILLISECOND,
+            ),
+        )
+    )
+    runs = run_specs(specs, jobs=jobs)
+    native = runs[0].workload_result
+    for backend, run in zip(("rdpmc", "papi"), runs[1:3]):
+        switched_off = run.workload_result
         overhead_pct = 100.0 * (
             switched_off.elapsed_ns / native.elapsed_ns - 1.0
         )
@@ -92,12 +116,7 @@ def run_overhead_study(
             paper_reference="<4% for most experiments (rdpmc)",
         )
     # Amortisation: with injection on, overhead hides inside delays.
-    config = QuartzConfig(
-        nvm_read_latency_ns=calibration.dram_remote_ns,
-        max_epoch_ns=0.5 * MILLISECOND,
-    )
-    outcome = run_conf1(arch, factory, config, seed=800, calibration=calibration)
-    stats = outcome.quartz_stats
+    stats = runs[3].quartz_stats
     result.add_row(
         quantity="overhead amortized into delays (%)",
         value=100.0 * stats.overhead_amortized_ns / max(stats.overhead_ns, 1e-9),
@@ -231,41 +250,47 @@ def run_model_ablation(
     chain_counts: Sequence[int] = (1, 2, 4, 8),
     target_ns: float = 600.0,
     iterations: int = 200_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 2's argument quantified: Eq. (1) vs Eq. (2)/(3).
 
     The simple model over-injects by roughly the MLP factor; the
     stall-based model stays on target at every parallelism degree.
     """
-    calibration = calibrate_arch(arch)
+    calibrate_arch(arch)
     result = ExperimentResult(
         experiment_id="model-ablation",
         title="Simple (Eq. 1) vs stall-based (Eq. 2/3) latency model",
         columns=["chains", "model", "measured_ns", "error_pct"],
     )
-    for chains in chain_counts:
-        for model in ("stalls", "simple"):
-            config = QuartzConfig(
+    grid = [
+        (chains, model)
+        for chains in chain_counts
+        for model in ("stalls", "simple")
+    ]
+    specs = [
+        RunSpec(
+            workload="memlat",
+            config=MemLatConfig(iterations=iterations, chains=chains),
+            arch_name=arch.name,
+            mode="conf1",
+            seed=820,
+            quartz=QuartzConfig(
                 nvm_read_latency_ns=target_ns,
                 latency_model=model,
                 max_epoch_ns=0.5 * MILLISECOND,
-            )
-
-            def factory(out, chains=chains):
-                return memlat_body(
-                    MemLatConfig(iterations=iterations, chains=chains), out
-                )
-
-            outcome = run_conf1(
-                arch, factory, config, seed=820, calibration=calibration
-            )
-            measured = outcome.workload_result.measured_latency_ns
-            result.add_row(
-                chains=chains,
-                model=model,
-                measured_ns=measured,
-                error_pct=100.0 * relative_error(measured, target_ns),
-            )
+            ),
+        )
+        for chains, model in grid
+    ]
+    for (chains, model), run in zip(grid, run_specs(specs, jobs=jobs)):
+        measured = run.workload_result.measured_latency_ns
+        result.add_row(
+            chains=chains,
+            model=model,
+            measured_ns=measured,
+            error_pct=100.0 * relative_error(measured, target_ns),
+        )
     result.note(
         "Eq. 1 counts every miss as serialized, over-injecting by ~MLP x "
         "(Figure 2); Eq. 2/3 stays accurate as parallelism grows"

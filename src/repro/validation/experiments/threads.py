@@ -11,19 +11,16 @@ min-epochs <= 1 ms hold the error under ~3%.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.hw.arch import IVY_BRIDGE, SANDY_BRIDGE, ArchSpec
 from repro.quartz.calibration import calibrate_arch
 from repro.quartz.config import QuartzConfig
 from repro.units import MILLISECOND, ns_to_ms
-from repro.validation.configs import run_conf1, run_conf2
 from repro.validation.metrics import relative_error
 from repro.validation.reporting import ExperimentResult
-from repro.workloads.multithreaded import (
-    MultiThreadedConfig,
-    multithreaded_main_body,
-)
+from repro.validation.runner import RunSpec, run_specs
+from repro.workloads.multithreaded import MultiThreadedConfig
 
 
 def run_figure13(
@@ -34,6 +31,7 @@ def run_figure13(
     cs_iterations: int = 100,
     with_compute: bool = True,
     cs_only: bool = True,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 13(a)-(d): emulated vs. actual completion times."""
     result = ExperimentResult(
@@ -49,9 +47,10 @@ def run_figure13(
         cases.append(("cs only", 0))
     if with_compute:
         cases.append(("with compute", cs_iterations))
+    specs = []
     for arch in archs:
         calibration = calibrate_arch(arch)
-        for case_name, out_iterations in cases:
+        for _case_name, out_iterations in cases:
             for threads in thread_counts:
                 workload = MultiThreadedConfig(
                     threads=threads,
@@ -59,22 +58,32 @@ def run_figure13(
                     cs_iterations=cs_iterations,
                     out_iterations=out_iterations,
                 )
-
-                def factory(out, workload=workload):
-                    return multithreaded_main_body(workload, out)
-
-                actual = run_conf2(arch, factory, seed=500)
-                actual_ns = actual.workload_result.elapsed_ns
+                specs.append(
+                    RunSpec(
+                        workload="multithreaded", config=workload,
+                        arch_name=arch.name, mode="conf2", seed=500,
+                    )
+                )
                 for min_epoch_ms in min_epochs_ms:
                     config = QuartzConfig(
                         nvm_read_latency_ns=calibration.dram_remote_ns,
                         min_epoch_ns=min_epoch_ms * MILLISECOND,
                         max_epoch_ns=10.0 * MILLISECOND,
                     )
-                    emulated = run_conf1(
-                        arch, factory, config, seed=500, calibration=calibration
+                    specs.append(
+                        RunSpec(
+                            workload="multithreaded", config=workload,
+                            arch_name=arch.name, mode="conf1", seed=500,
+                            quartz=config,
+                        )
                     )
-                    emulated_ns = emulated.workload_result.elapsed_ns
+    results = iter(run_specs(specs, jobs=jobs))
+    for arch in archs:
+        for case_name, _out_iterations in cases:
+            for threads in thread_counts:
+                actual_ns = next(results).workload_result.elapsed_ns
+                for min_epoch_ms in min_epochs_ms:
+                    emulated_ns = next(results).workload_result.elapsed_ns
                     result.add_row(
                         processor=arch.family,
                         case=case_name,

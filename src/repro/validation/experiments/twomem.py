@@ -11,16 +11,16 @@ latencies on Ivy Bridge and Haswell.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.hw.arch import HASWELL, IVY_BRIDGE, ArchSpec
 from repro.quartz.calibration import calibrate_arch
 from repro.quartz.config import EmulationMode, QuartzConfig
 from repro.units import MILLISECOND
-from repro.validation.configs import run_conf1
 from repro.validation.metrics import summarize
 from repro.validation.reporting import ExperimentResult
-from repro.workloads.multilat import MultiLatConfig, multilat_body
+from repro.validation.runner import RunSpec, run_specs
+from repro.workloads.multilat import MultiLatConfig
 
 #: The paper's four recursive access patterns (DRAM run : NVM run).
 PAPER_PATTERNS: dict[str, tuple[int, int]] = {
@@ -42,6 +42,7 @@ def run_figure14(
     target_latencies_ns: Sequence[float] = (200.0, 300.0, 400.0, 500.0, 600.0, 700.0),
     configurations: dict[str, tuple[int, int]] = SCALED_CONFIGURATIONS,
     patterns: dict[str, tuple[int, int]] = PAPER_PATTERNS,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 14(a)-(b): average MultiLat emulation error."""
     result = ExperimentResult(
@@ -49,6 +50,7 @@ def run_figure14(
         title="MultiLat error under DRAM+NVM emulation",
         columns=["processor", "target_ns", "avg_error_pct", "max_error_pct"],
     )
+    specs, cells = [], []
     for arch in archs:
         calibration = calibrate_arch(arch)
         for target in target_latencies_ns:
@@ -60,33 +62,36 @@ def run_figure14(
                 mode=EmulationMode.TWO_MEMORY,
                 max_epoch_ns=1.0 * MILLISECOND,
             )
-            errors = []
-            for config_name, (dram_n, nvm_n) in configurations.items():
-                for pattern_name, pattern in patterns.items():
+            cell_runs = 0
+            for _config_name, (dram_n, nvm_n) in configurations.items():
+                for _pattern_name, pattern in patterns.items():
                     workload = MultiLatConfig(
                         dram_elements=dram_n,
                         nvm_elements=nvm_n,
                         pattern=pattern,
                     )
-
-                    def factory(out, workload=workload):
-                        return multilat_body(workload, out)
-
-                    outcome = run_conf1(
-                        arch, factory, config, seed=600, calibration=calibration
-                    )
-                    errors.append(
-                        outcome.workload_result.emulation_error(
-                            calibration.dram_local_ns, target
+                    specs.append(
+                        RunSpec(
+                            workload="multilat", config=workload,
+                            arch_name=arch.name, mode="conf1", seed=600,
+                            quartz=config,
                         )
                     )
-            stats = summarize(errors)
-            result.add_row(
-                processor=arch.family,
-                target_ns=target,
-                avg_error_pct=100.0 * stats.mean,
-                max_error_pct=100.0 * stats.maximum,
-            )
+                    cell_runs += 1
+            cells.append((arch, target, calibration.dram_local_ns, cell_runs))
+    results = iter(run_specs(specs, jobs=jobs))
+    for arch, target, dram_local_ns, cell_runs in cells:
+        errors = [
+            next(results).workload_result.emulation_error(dram_local_ns, target)
+            for _ in range(cell_runs)
+        ]
+        stats = summarize(errors)
+        result.add_row(
+            processor=arch.family,
+            target_ns=target,
+            avg_error_pct=100.0 * stats.mean,
+            max_error_pct=100.0 * stats.maximum,
+        )
     result.note(
         "error vs the closed form CT = N_DRAM*lat_DRAM + N_NVM*lat_NVM, "
         "averaged over 2 configurations x 4 access patterns; paper: <1.2%"

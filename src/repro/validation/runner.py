@@ -1,0 +1,341 @@
+"""The parallel experiment runner: declarative run grids, fanned out.
+
+Every validation run is a pure function of a small picklable description
+— which workload, which architecture, which Quartz configuration, which
+seed.  :class:`RunSpec` captures that description; :func:`run_specs`
+executes a grid of them, optionally across a ``ProcessPoolExecutor``
+(``jobs`` argument / ``QUARTZ_REPRO_JOBS``), and returns results in
+exactly the submitted order — so a driver's output table is byte-for-byte
+identical whatever the job count.
+
+Workers share calibration through the persistent on-disk cache (see
+``repro.quartz.calibration``): the parent pre-warms every calibration a
+grid needs before fanning out, so workers only ever hit the cache.  Each
+result carries per-run wall time, simulator event counts, and the
+calibration cache-counter deltas; :func:`consume_run_stats` hands the
+aggregate to the CLI summary line.
+
+Execution degrades gracefully: ``jobs=1``, single-spec grids, and
+environments where process pools are unavailable all run in-process with
+identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.hw.arch import arch_by_name
+from repro.quartz.calibration import cache_counters, calibrate_arch
+from repro.quartz.config import QuartzConfig
+from repro.quartz.stats import QuartzStats
+from repro.validation.configs import (
+    RunOutcome,
+    run_chase,
+    run_conf1,
+    run_conf2,
+    run_native,
+    run_throttled,
+)
+from repro.workloads.graph500 import graph500_body
+from repro.workloads.kvstore import kvstore_main_body
+from repro.workloads.memlat import memlat_body
+from repro.workloads.multilat import multilat_body
+from repro.workloads.multithreaded import multithreaded_main_body
+from repro.workloads.pagerank import pagerank_body
+from repro.workloads.pagerank_parallel import parallel_pagerank_body
+from repro.workloads.stream import stream_main_body
+
+# ----------------------------------------------------------------------
+# Declarative run units
+# ----------------------------------------------------------------------
+
+#: Workload id -> body-factory builder.  A builder receives the spec's
+#: workload config plus its extras dict and returns the ``factory(out)``
+#: callable the Conf_1/Conf_2 helpers drive.  Builders are module-level
+#: so a spec stays picklable: workers reconstruct closures locally.
+WORKLOADS: dict[str, Callable[[Any, dict], Callable]] = {
+    "memlat": lambda config, extras: (lambda out: memlat_body(config, out)),
+    "stream": lambda config, extras: (lambda out: stream_main_body(config, out)),
+    "multithreaded": lambda config, extras: (
+        lambda out: multithreaded_main_body(config, out)
+    ),
+    "multilat": lambda config, extras: (lambda out: multilat_body(config, out)),
+    "kvstore": lambda config, extras: (lambda out: kvstore_main_body(config, out)),
+    "pagerank": lambda config, extras: (
+        lambda out: pagerank_body(config, out, graph=extras.get("graph"))
+    ),
+    "graph500": lambda config, extras: (
+        lambda out: graph500_body(config, out, graph=extras.get("graph"))
+    ),
+    "parallel-pagerank": lambda config, extras: (
+        lambda out: parallel_pagerank_body(config, out, graph=extras.get("graph"))
+    ),
+}
+
+#: Mode -> testbed configuration (see ``repro.validation.configs``).
+MODES = ("conf1", "conf2", "native", "chase", "throttled")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One validation run, described declaratively and picklably.
+
+    A spec carries no live objects — only the workload id (a key into
+    :data:`WORKLOADS`), its config dataclass, the architecture *name*,
+    the testbed mode, seeds, and an ``extras`` dict of picklable inputs
+    (a pre-built graph, the Table 2 memory node, the Figure 8 register).
+    """
+
+    workload: str
+    config: Any
+    arch_name: str
+    mode: str = "native"
+    seed: int = 0
+    quartz: Optional[QuartzConfig] = None
+    #: Seed of the calibration pass Conf_1 attaches (paper: one
+    #: calibration per machine, shared by every run on it).
+    calibration_seed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValidationError(f"unknown workload id: {self.workload!r}")
+        if self.mode not in MODES:
+            raise ValidationError(f"unknown run mode: {self.mode!r}")
+        if self.mode == "conf1" and self.quartz is None:
+            raise ValidationError("conf1 runs need a QuartzConfig")
+
+
+@dataclass
+class RunResult:
+    """The picklable outcome of one :class:`RunSpec`.
+
+    Unlike :class:`~repro.validation.configs.RunOutcome` this drops the
+    live machine (unpicklable) and adds the observability counters the
+    runner aggregates.
+    """
+
+    index: int
+    workload_result: Any
+    elapsed_ns: float
+    quartz_stats: Optional[QuartzStats] = None
+    wall_s: float = 0.0
+    events: int = 0
+    calib_memory_hits: int = 0
+    calib_disk_hits: int = 0
+    calib_measurements: int = 0
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def _execute(spec: RunSpec) -> RunOutcome:
+    arch = arch_by_name(spec.arch_name)
+    factory = WORKLOADS[spec.workload](spec.config, spec.extras)
+    if spec.mode == "conf1":
+        calibration = calibrate_arch(arch, seed=spec.calibration_seed)
+        return run_conf1(
+            arch, factory, spec.quartz, seed=spec.seed, calibration=calibration
+        )
+    if spec.mode == "conf2":
+        return run_conf2(arch, factory, seed=spec.seed)
+    if spec.mode == "native":
+        return run_native(arch, factory, seed=spec.seed)
+    if spec.mode == "chase":
+        return run_chase(
+            arch, factory, seed=spec.seed, mem_node=spec.extras.get("mem_node", 0)
+        )
+    if spec.mode == "throttled":
+        return run_throttled(
+            arch, factory, seed=spec.seed, register=spec.extras.get("register", 0)
+        )
+    raise ValidationError(f"unknown run mode: {spec.mode!r}")
+
+
+def _run_one(payload: tuple[int, RunSpec]) -> RunResult:
+    """Worker entry point: execute one spec, package a picklable result."""
+    index, spec = payload
+    mem0, disk0, meas0, _ = cache_counters.snapshot()
+    started = time.perf_counter()
+    outcome = _execute(spec)
+    wall = time.perf_counter() - started
+    mem1, disk1, meas1, _ = cache_counters.snapshot()
+    events = (
+        outcome.machine.sim.events_dispatched if outcome.machine is not None else 0
+    )
+    return RunResult(
+        index=index,
+        workload_result=outcome.workload_result,
+        elapsed_ns=outcome.elapsed_ns,
+        quartz_stats=outcome.quartz_stats,
+        wall_s=wall,
+        events=events,
+        calib_memory_hits=mem1 - mem0,
+        calib_disk_hits=disk1 - disk0,
+        calib_measurements=meas1 - meas0,
+    )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalise a job count: explicit > ``QUARTZ_REPRO_JOBS`` > 1.
+
+    Library calls default to in-process execution; the CLI resolves its
+    own default (``os.cpu_count()``) before calling a driver.
+    """
+    if jobs is None:
+        env = os.environ.get("QUARTZ_REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    return max(1, int(jobs))
+
+
+def default_cli_jobs() -> int:
+    """The CLI default: the environment override, else every core."""
+    env = os.environ.get("QUARTZ_REPRO_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def _prewarm_calibrations(specs: Sequence[RunSpec]) -> None:
+    """Calibrate every testbed a grid needs, once, in the parent.
+
+    Fork-started workers inherit the in-memory cache; spawn-started ones
+    read the disk cache.  Either way no worker re-measures.
+    """
+    needed = {
+        (spec.arch_name, spec.calibration_seed)
+        for spec in specs
+        if spec.mode == "conf1"
+    }
+    for arch_name, calibration_seed in sorted(needed):
+        calibrate_arch(arch_by_name(arch_name), seed=calibration_seed)
+
+
+def _run_parallel(
+    payloads: list[tuple[int, RunSpec]], jobs: int
+) -> Optional[list[RunResult]]:
+    """Fan out over a process pool; ``None`` means "pool unavailable"."""
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+            return list(pool.map(_run_one, payloads))
+    except (
+        BrokenProcessPool,
+        NotImplementedError,
+        OSError,
+        PermissionError,
+        pickle.PicklingError,
+    ) as error:
+        print(
+            f"note: process pool unavailable ({error!r}); "
+            "running in-process",
+            file=sys.stderr,
+        )
+        return None
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate observability over one driver invocation."""
+
+    runs: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+    run_wall_s: float = 0.0
+    events: int = 0
+    sim_ns: float = 0.0
+    calib_memory_hits: int = 0
+    calib_disk_hits: int = 0
+    calib_measurements: int = 0
+
+    @property
+    def calib_hits(self) -> int:
+        """Calibration requests served from either cache layer."""
+        return self.calib_memory_hits + self.calib_disk_hits
+
+    def summary(self) -> str:
+        """The CLI summary line."""
+        return (
+            f"runner: {self.runs} runs on {self.jobs} job(s), "
+            f"{self.events:,} events, "
+            f"{self.run_wall_s:.1f}s total run time in {self.wall_s:.1f}s wall; "
+            f"calibration cache: {self.calib_hits} hits "
+            f"({self.calib_memory_hits} memory / {self.calib_disk_hits} disk), "
+            f"{self.calib_measurements} measurements"
+        )
+
+
+_run_stats: Optional[RunnerStats] = None
+
+
+def reset_run_stats() -> None:
+    """Start a fresh accumulation window (CLI calls this per experiment)."""
+    global _run_stats
+    _run_stats = None
+
+
+def consume_run_stats() -> Optional[RunnerStats]:
+    """Return and clear the stats accumulated since the last reset."""
+    global _run_stats
+    stats, _run_stats = _run_stats, None
+    return stats
+
+
+def _record_stats(results: Sequence[RunResult], jobs: int, wall_s: float) -> None:
+    global _run_stats
+    if _run_stats is None:
+        _run_stats = RunnerStats(jobs=jobs)
+    stats = _run_stats
+    stats.jobs = max(stats.jobs, jobs)
+    stats.wall_s += wall_s
+    for result in results:
+        stats.runs += 1
+        stats.run_wall_s += result.wall_s
+        stats.events += result.events
+        stats.sim_ns += result.elapsed_ns
+        stats.calib_memory_hits += result.calib_memory_hits
+        stats.calib_disk_hits += result.calib_disk_hits
+        stats.calib_measurements += result.calib_measurements
+
+
+# ----------------------------------------------------------------------
+# The entry point
+# ----------------------------------------------------------------------
+
+
+def run_specs(
+    specs: Sequence[RunSpec], jobs: Optional[int] = None
+) -> list[RunResult]:
+    """Execute a grid of specs; results come back in submitted order.
+
+    Every run builds its own simulator from its own seed, so execution
+    order and placement cannot change any result: the returned tables are
+    byte-identical for any ``jobs`` value.
+    """
+    jobs = resolve_jobs(jobs)
+    payloads = list(enumerate(specs))
+    started = time.perf_counter()
+    results: Optional[list[RunResult]] = None
+    if jobs > 1 and len(payloads) > 1:
+        _prewarm_calibrations(specs)
+        results = _run_parallel(payloads, jobs)
+    if results is None:
+        jobs = 1
+        results = [_run_one(payload) for payload in payloads]
+    results.sort(key=lambda result: result.index)
+    _record_stats(results, jobs, time.perf_counter() - started)
+    return results

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import HardwareError, OsError, QuartzError
+from repro.errors import HardwareError, OsError
 from repro.hw import IVY_BRIDGE, Machine
 from repro.hw.topology import PageSize
 from repro.ops import (

@@ -3,8 +3,14 @@
 import pytest
 
 from repro.errors import CalibrationError
-from repro.hw import ALL_ARCHS, IVY_BRIDGE, SANDY_BRIDGE
-from repro.quartz.calibration import CalibrationData, calibrate_arch
+from repro.hw import ALL_ARCHS, HASWELL, IVY_BRIDGE, SANDY_BRIDGE
+from repro.quartz import calibration as calibration_module
+from repro.quartz.calibration import (
+    arch_fingerprint,
+    cache_counters,
+    calibrate_arch,
+    reset_cache_counters,
+)
 
 
 @pytest.fixture(scope="module")
@@ -77,3 +83,88 @@ def test_sandy_bridge_local_remote_distinct():
     assert data.dram_remote_ns / data.dram_local_ns == pytest.approx(
         163.0 / 97.0, rel=0.05
     )
+
+
+# ----------------------------------------------------------------------
+# The persistent on-disk cache
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def disk_cache(tmp_path, monkeypatch):
+    """Point the disk cache at a sandbox and evict the test key."""
+    monkeypatch.setenv("QUARTZ_REPRO_CACHE_DIR", str(tmp_path))
+    key = (IVY_BRIDGE.name, 91, 3)
+    calibration_module._CACHE.pop(key, None)
+    reset_cache_counters()
+    yield tmp_path
+    calibration_module._CACHE.pop(key, None)
+
+
+def _calibrate91():
+    return calibrate_arch(IVY_BRIDGE, seed=91, bandwidth_points=3)
+
+
+def test_disk_cache_round_trip(disk_cache):
+    first = _calibrate91()
+    assert cache_counters.measurements == 1
+    files = list(disk_cache.glob("calibration-*.json"))
+    assert len(files) == 1
+    assert arch_fingerprint(IVY_BRIDGE) in files[0].name
+
+    # Evict the memory layer: the next call must be a disk hit that
+    # round-trips to exactly the measured values, with no re-measure.
+    calibration_module._CACHE.pop((IVY_BRIDGE.name, 91, 3))
+    second = _calibrate91()
+    assert cache_counters.disk_hits == 1
+    assert cache_counters.measurements == 1
+    assert second == first
+
+    # The disk hit repopulated the memory layer.
+    third = _calibrate91()
+    assert third is second
+    assert cache_counters.memory_hits == 1
+
+
+def test_corrupted_cache_file_is_a_clean_miss(disk_cache):
+    _calibrate91()
+    (path,) = disk_cache.glob("calibration-*.json")
+    path.write_text("{not json", encoding="utf-8")
+    calibration_module._CACHE.pop((IVY_BRIDGE.name, 91, 3))
+    data = _calibrate91()
+    assert cache_counters.rejected_files == 1
+    assert cache_counters.measurements == 2  # re-measured, no crash
+    assert data.dram_local_ns > 0
+    # The re-measure overwrote the corrupt file with a valid one.
+    calibration_module._CACHE.pop((IVY_BRIDGE.name, 91, 3))
+    _calibrate91()
+    assert cache_counters.disk_hits == 1
+
+
+def test_schema_or_fingerprint_mismatch_rejected(disk_cache):
+    import json
+
+    _calibrate91()
+    (path,) = disk_cache.glob("calibration-*.json")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["fingerprint"] = "0" * 16
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    calibration_module._CACHE.pop((IVY_BRIDGE.name, 91, 3))
+    _calibrate91()
+    assert cache_counters.rejected_files == 1
+    assert cache_counters.measurements == 2
+
+
+def test_refresh_remeasures_despite_warm_caches(disk_cache):
+    first = _calibrate91()
+    refreshed = calibrate_arch(
+        IVY_BRIDGE, seed=91, bandwidth_points=3, refresh=True
+    )
+    assert cache_counters.measurements == 2
+    assert refreshed is not first
+    assert refreshed == first  # same seed, same measurement
+
+
+def test_fingerprint_distinguishes_architectures():
+    assert arch_fingerprint(IVY_BRIDGE) != arch_fingerprint(HASWELL)
+    assert arch_fingerprint(IVY_BRIDGE) == arch_fingerprint(IVY_BRIDGE)

@@ -87,8 +87,39 @@ def test_max_events_budget():
     fired = []
     for i in range(10):
         sim.schedule(float(i + 1), lambda i=i: fired.append(i))
-    sim.run(max_events=3)
+    assert sim.run(max_events=3) == "max-events"
     assert fired == [0, 1, 2]
+
+
+def test_run_reports_stop_reason():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.schedule(100.0, lambda: None)
+    assert sim.run(until_ns=50.0) == "until"
+    assert sim.run() == "drained"
+    assert sim.run(until_ns=200.0) == "drained"
+    assert sim.now == 200.0
+
+
+def test_max_events_with_horizon_advances_clock_to_next_event():
+    """When the budget stops a bounded run, time still moves forward.
+
+    The clock lands on the earlier of the next pending event and the
+    horizon — never past an undispatched event, never past the horizon.
+    """
+    sim = Simulator()
+    for time_ns in (10.0, 20.0, 30.0, 40.0):
+        sim.schedule(time_ns, lambda: None)
+    assert sim.run(until_ns=100.0, max_events=2) == "max-events"
+    assert sim.now == 30.0  # next pending event, inside the horizon
+    # An event beyond the horizon outranks the budget: "until" stops first.
+    assert sim.run(until_ns=25.0, max_events=0) == "until"
+    assert sim.now == 30.0  # and the clock never moves backwards
+    # Without a horizon the budget stop leaves the clock untouched.
+    assert sim.run(max_events=0) == "max-events"
+    assert sim.now == 30.0
+    assert sim.run(until_ns=100.0) == "drained"
+    assert sim.now == 100.0
 
 
 def test_events_scheduled_during_dispatch_run_in_order():

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import main
+from repro.validation.experiments import REGISTRY
+from repro.validation.reporting import ExperimentResult
 
 
 def test_list_command(capsys):
@@ -42,3 +44,60 @@ def test_unknown_experiment_rejected():
 def test_unknown_arch_rejected():
     with pytest.raises(KeyError):
         main(["run", "table2", "--arch", "skylake"])
+
+
+def _stub_driver():
+    result = ExperimentResult(
+        experiment_id="stub", title="Stub experiment", columns=["x"]
+    )
+    result.add_row(x=1)
+    return result
+
+
+def test_unsupported_flags_note_instead_of_crashing(monkeypatch, capsys):
+    """Flags a driver has no parameter for are noted, never a TypeError."""
+    monkeypatch.setitem(REGISTRY, "stub-exp", lambda: _stub_driver())
+    assert main([
+        "run", "stub-exp",
+        "--arch", "ivy-bridge", "--trials", "2", "--jobs", "2",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "Stub experiment" in captured.out
+    assert "does not take an architecture" in captured.err
+    assert "does not take --trials" in captured.err
+    assert "does not take --jobs" in captured.err
+
+
+def test_jobs_flag_forwarded(monkeypatch, capsys):
+    seen = {}
+
+    def driver(jobs=None):
+        seen["jobs"] = jobs
+        return _stub_driver()
+
+    monkeypatch.setitem(REGISTRY, "stub-exp", driver)
+    assert main(["run", "stub-exp", "--jobs", "3"]) == 0
+    assert seen["jobs"] == 3
+    # Without the flag the CLI default (env override, else all cores)
+    # is resolved and passed along.
+    monkeypatch.setenv("QUARTZ_REPRO_JOBS", "5")
+    assert main(["run", "stub-exp"]) == 0
+    assert seen["jobs"] == 5
+    capsys.readouterr()
+
+
+def test_run_prints_runner_summary(capsys):
+    assert main(["run", "table2", "--arch", "ivy-bridge", "--trials", "1",
+                 "--jobs", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "runner:" in output
+    assert "calibration cache:" in output
+
+
+def test_calibrate_refresh(capsys):
+    from repro.quartz.calibration import cache_counters
+
+    before = cache_counters.measurements
+    assert main(["calibrate", "--arch", "ivy-bridge", "--refresh"]) == 0
+    assert cache_counters.measurements == before + 1
+    assert "local DRAM latency" in capsys.readouterr().out

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.hw.topology import MemoryRegion, PageSize
+from repro.hw.topology import MemoryRegion
 from repro.ops import (
     Compute,
     Flush,

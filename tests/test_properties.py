@@ -17,7 +17,6 @@ from repro.quartz.model import (
     eq4_remote_stall_split,
 )
 from repro.sim import Simulator
-from repro.units import MIB
 
 
 # ----------------------------------------------------------------------

@@ -7,7 +7,7 @@ assertions live in ``benchmarks/``.
 
 import pytest
 
-from repro.hw import HASWELL, IVY_BRIDGE, SANDY_BRIDGE
+from repro.hw import HASWELL, IVY_BRIDGE
 from repro.validation.experiments import (
     REGISTRY,
     run_dvfs_ablation,

@@ -8,7 +8,6 @@ from repro.validation.experiments import (
     run_parallel_pagerank,
     run_technology_comparison,
 )
-from repro.workloads.graphs import synthetic_scale_free
 from repro.workloads.kvstore import KvStoreConfig
 from repro.workloads.pagerank import PageRankConfig
 

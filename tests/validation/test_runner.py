@@ -1,0 +1,179 @@
+"""Tests for the parallel experiment runner.
+
+The load-bearing property is determinism: a grid's results — and
+therefore every rendered table — must be byte-identical whatever the
+job count, because each run builds its own simulator from its own seed.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hw import IVY_BRIDGE
+from repro.quartz.config import QuartzConfig
+from repro.units import MILLISECOND
+from repro.validation import runner as runner_module
+from repro.validation.experiments import run_figure12
+from repro.validation.reporting import render_table
+from repro.validation.runner import (
+    RunSpec,
+    consume_run_stats,
+    default_cli_jobs,
+    reset_run_stats,
+    resolve_jobs,
+    run_specs,
+)
+from repro.workloads.memlat import MemLatConfig
+
+
+def _memlat_spec(seed: int, target_ns: float = 400.0) -> RunSpec:
+    return RunSpec(
+        workload="memlat",
+        config=MemLatConfig(iterations=50_000),
+        arch_name=IVY_BRIDGE.name,
+        mode="conf1",
+        seed=seed,
+        quartz=QuartzConfig(
+            nvm_read_latency_ns=target_ns, max_epoch_ns=1.0 * MILLISECOND
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# RunSpec validation
+# ----------------------------------------------------------------------
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValidationError):
+        RunSpec(workload="nope", config=None, arch_name=IVY_BRIDGE.name)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValidationError):
+        RunSpec(
+            workload="memlat", config=MemLatConfig(), arch_name=IVY_BRIDGE.name,
+            mode="conf3",
+        )
+
+
+def test_conf1_requires_quartz_config():
+    with pytest.raises(ValidationError):
+        RunSpec(
+            workload="memlat", config=MemLatConfig(), arch_name=IVY_BRIDGE.name,
+            mode="conf1",
+        )
+
+
+# ----------------------------------------------------------------------
+# Sequential execution and observability
+# ----------------------------------------------------------------------
+
+
+def test_run_specs_returns_submitted_order_with_observability():
+    reset_run_stats()
+    specs = [_memlat_spec(seed) for seed in (1, 2, 3)]
+    results = run_specs(specs, jobs=1)
+    assert [r.index for r in results] == [0, 1, 2]
+    for result in results:
+        assert result.workload_result.measured_latency_ns > 0
+        assert result.events > 0
+        assert result.wall_s > 0
+        assert result.quartz_stats is not None
+    stats = consume_run_stats()
+    assert stats.runs == 3
+    assert stats.jobs == 1
+    assert stats.events == sum(r.events for r in results)
+    # Second consume yields nothing: the window was cleared.
+    assert consume_run_stats() is None
+
+
+def test_same_seed_same_result():
+    a, b = run_specs([_memlat_spec(9), _memlat_spec(9)], jobs=1)
+    assert (
+        a.workload_result.measured_latency_ns
+        == b.workload_result.measured_latency_ns
+    )
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.events == b.events
+
+
+# ----------------------------------------------------------------------
+# Determinism across job counts (the acceptance criterion)
+# ----------------------------------------------------------------------
+
+
+def test_parallel_matches_sequential_exactly():
+    specs = [_memlat_spec(seed) for seed in (1, 2, 3, 4)]
+    sequential = run_specs(specs, jobs=1)
+    parallel = run_specs(specs, jobs=4)
+    assert [r.index for r in parallel] == [0, 1, 2, 3]
+    for seq, par in zip(sequential, parallel):
+        assert (
+            seq.workload_result.measured_latency_ns
+            == par.workload_result.measured_latency_ns
+        )
+        assert seq.elapsed_ns == par.elapsed_ns
+        assert seq.events == par.events
+
+
+def test_figure12_table_byte_identical_across_job_counts():
+    kwargs = dict(
+        archs=[IVY_BRIDGE], target_latencies_ns=(300.0,),
+        iterations=60_000, trials=2,
+    )
+    table_seq = render_table(run_figure12(jobs=1, **kwargs))
+    table_par = render_table(run_figure12(jobs=4, **kwargs))
+    assert table_seq == table_par
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+
+
+def test_pool_unavailable_falls_back_in_process(monkeypatch, capsys):
+    def broken_pool(*args, **kwargs):
+        raise OSError("no processes for you")
+
+    monkeypatch.setattr(
+        runner_module, "ProcessPoolExecutor", broken_pool
+    )
+    reset_run_stats()
+    specs = [_memlat_spec(seed) for seed in (5, 6)]
+    results = run_specs(specs, jobs=4)
+    assert len(results) == 2
+    assert "process pool unavailable" in capsys.readouterr().err
+    stats = consume_run_stats()
+    assert stats.jobs == 1  # fell back
+    assert stats.runs == 2
+
+
+def test_single_spec_grid_stays_in_process():
+    reset_run_stats()
+    results = run_specs([_memlat_spec(7)], jobs=8)
+    assert len(results) == 1
+    assert consume_run_stats().jobs == 1
+
+
+# ----------------------------------------------------------------------
+# Job-count resolution
+# ----------------------------------------------------------------------
+
+
+def test_resolve_jobs_defaults_to_one(monkeypatch):
+    monkeypatch.delenv("QUARTZ_REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(3) == 3
+
+
+def test_resolve_jobs_honours_environment(monkeypatch):
+    monkeypatch.setenv("QUARTZ_REPRO_JOBS", "6")
+    assert resolve_jobs(None) == 6
+    assert resolve_jobs(2) == 2  # explicit wins
+    assert default_cli_jobs() == 6
+
+
+def test_default_cli_jobs_uses_every_core(monkeypatch):
+    monkeypatch.delenv("QUARTZ_REPRO_JOBS", raising=False)
+    assert default_cli_jobs() >= 1
