@@ -6,7 +6,15 @@ Examples::
     quartz-repro run figure12
     quartz-repro run figure11 --arch ivy-bridge --trials 2
     quartz-repro run figure16-latency -o fig16.txt
+    quartz-repro run figure12 --format json --out fig12.json
+    quartz-repro run figure12 --trace-out fig12-epochs.jsonl
+    quartz-repro trace summarize fig12-epochs.jsonl
     quartz-repro calibrate --arch haswell
+
+With ``--format json`` the experiment document (rows + provenance
+manifest + runner telemetry; see ``repro.validation.export``) is the
+*only* stdout output — progress and summary lines move to stderr — so
+the command pipes cleanly into ``jq`` and friends.
 """
 
 from __future__ import annotations
@@ -19,12 +27,15 @@ from typing import Optional, Sequence
 
 from repro.hw.arch import arch_by_name
 from repro.quartz.calibration import calibrate_arch
+from repro.validation import export
 from repro.validation.experiments import REGISTRY
 from repro.validation.reporting import render_table
 from repro.validation.runner import (
+    close_trace_out,
     consume_run_stats,
     default_cli_jobs,
     reset_run_stats,
+    set_trace_out,
 )
 
 
@@ -57,7 +68,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "or all cores; results are identical for any job count)"
         ),
     )
-    run.add_argument("-o", "--output", help="also write the table to a file")
+    run.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help=(
+            "output format: the ASCII table, or the schema-versioned JSON "
+            "export document (default: table)"
+        ),
+    )
+    run.add_argument(
+        "-o", "--output", "--out",
+        dest="output",
+        help="also write the rendered output (current --format) to a file",
+    )
+    run.add_argument(
+        "--trace-out",
+        help=(
+            "stream every emulated (Conf_1) run's epoch closes to this "
+            "JSONL file (forces in-process execution; reload with "
+            "'quartz-repro trace summarize')"
+        ),
+    )
 
     calibrate = subparsers.add_parser(
         "calibrate", help="print the calibration data for a testbed"
@@ -67,6 +99,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--refresh",
         action="store_true",
         help="re-measure even when a cached calibration exists",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a JSONL epoch trace (--trace-out output)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="reload a JSONL trace and reprint the Section 3.2 summary",
+    )
+    summarize.add_argument("path", help="JSONL trace file")
+    summarize.add_argument(
+        "--max-records",
+        type=int,
+        default=None,
+        help=(
+            "apply an in-memory record cap while reloading (matches a "
+            "live EpochTrace's max_records)"
+        ),
     )
     return parser
 
@@ -103,6 +154,14 @@ def _driver_kwargs(
             )
     if "jobs" in parameters:
         kwargs["jobs"] = args.jobs if args.jobs else default_cli_jobs()
+        if getattr(args, "trace_out", None):
+            if kwargs["jobs"] != 1:
+                print(
+                    "note: --trace-out streams from in-process runs; "
+                    "forcing --jobs 1",
+                    file=sys.stderr,
+                )
+            kwargs["jobs"] = 1
     elif args.jobs is not None:
         print(
             f"note: {experiment} does not take --jobs (runs in-process)",
@@ -114,20 +173,51 @@ def _driver_kwargs(
 def _run_experiment(args: argparse.Namespace) -> int:
     driver = REGISTRY[args.experiment]
     kwargs = _driver_kwargs(args.experiment, driver, args)
+    # In JSON mode stdout carries the document and nothing else.
+    info = sys.stderr if args.format == "json" else sys.stdout
+    if args.trace_out:
+        set_trace_out(args.trace_out)
     reset_run_stats()
     started = time.time()
-    result = driver(**kwargs)
+    try:
+        result = driver(**kwargs)
+    finally:
+        trace_info = close_trace_out()
     wall_s = time.time() - started
-    table = render_table(result)
-    print(table)
-    print(f"\n(completed in {wall_s:.1f}s wall time)")
     stats = consume_run_stats()
+    if args.format == "json":
+        document = export.build_document(
+            result,
+            export.build_manifest(
+                stats=stats,
+                knobs={
+                    "command": "run",
+                    "experiment": args.experiment,
+                    "arch": args.arch,
+                    "trials": args.trials,
+                },
+            ),
+            telemetry=stats.telemetry() if stats is not None else None,
+        )
+        rendered = export.dumps_document(document)
+        sys.stdout.write(rendered)
+    else:
+        rendered = render_table(result) + "\n"
+        sys.stdout.write(rendered)
+    print(f"\n(completed in {wall_s:.1f}s wall time)", file=info)
     if stats is not None and stats.runs:
-        print(stats.summary())
+        print(stats.summary(), file=info)
+    if trace_info is not None:
+        path, runs, records = trace_info
+        print(
+            f"epoch trace: {records} record(s) across {runs} emulated "
+            f"run(s) written to {path}",
+            file=info,
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(table + "\n")
-        print(f"written to {args.output}")
+            handle.write(rendered)
+        print(f"written to {args.output}", file=info)
     return 0
 
 
@@ -155,6 +245,18 @@ def _calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_summarize(args: argparse.Namespace) -> int:
+    from repro.errors import QuartzError
+    from repro.quartz.trace import summarize_trace_jsonl
+
+    try:
+        print(summarize_trace_jsonl(args.path, max_records=args.max_records))
+    except QuartzError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -164,6 +266,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "calibrate":
         return _calibrate(args)
+    if args.command == "trace":
+        return _trace_summarize(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

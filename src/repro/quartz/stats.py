@@ -8,6 +8,7 @@ the epoch size may improve emulation accuracy"*.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 
@@ -50,6 +51,12 @@ class ThreadQuartzStats:
     def epochs_total(self) -> int:
         """All epoch closes, regardless of trigger."""
         return self.epochs_monitor + self.epochs_sync + self.epochs_exit
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (all counters plus the derived total)."""
+        payload = dataclasses.asdict(self)
+        payload["epochs_total"] = self.epochs_total
+        return payload
 
 
 @dataclass
@@ -104,6 +111,31 @@ class QuartzStats:
     def fully_amortized(self) -> bool:
         """True if all processing overhead was hidden inside delays."""
         return self.overhead_residual_ns <= 1e-9
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: globals, aggregates, and per-thread records.
+
+        Per-thread records are emitted sorted by tid so the output is
+        deterministic; this is what the JSONL trace's ``stats`` lines
+        carry (see :mod:`repro.quartz.trace`).
+        """
+        return {
+            "threads_registered": self.threads_registered,
+            "init_cost_cycles": self.init_cost_cycles,
+            "monitor_wakeups": self.monitor_wakeups,
+            "signals_posted": self.signals_posted,
+            "epochs_total": self.epochs_total,
+            "delay_computed_ns": self.delay_computed_ns,
+            "delay_injected_ns": self.delay_injected_ns,
+            "overhead_ns": self.overhead_ns,
+            "overhead_amortized_ns": self.overhead_amortized_ns,
+            "overhead_residual_ns": self.overhead_residual_ns,
+            "fully_amortized": self.fully_amortized,
+            "per_thread": [
+                self.per_thread[tid].to_dict()
+                for tid in sorted(self.per_thread)
+            ],
+        }
 
     def feedback(self) -> str:
         """The Section 3.2 tuning hint."""

@@ -16,7 +16,7 @@ statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.hw.arch import ArchSpec
 from repro.hw.machine import Machine
@@ -26,6 +26,9 @@ from repro.quartz.config import QuartzConfig
 from repro.quartz.emulator import Quartz
 from repro.quartz.stats import QuartzStats
 from repro.sim import Simulator
+
+if TYPE_CHECKING:
+    from repro.quartz.trace import JsonlTraceWriter
 
 
 @dataclass
@@ -59,8 +62,15 @@ def run_conf1(
     quartz_config: QuartzConfig,
     seed: int = 0,
     calibration: Optional[CalibrationData] = None,
+    trace_sink: Optional["JsonlTraceWriter"] = None,
 ) -> RunOutcome:
-    """Conf_1: local memory, Quartz emulating the target latency."""
+    """Conf_1: local memory, Quartz emulating the target latency.
+
+    ``trace_sink`` (a :class:`~repro.quartz.trace.JsonlTraceWriter`)
+    streams every closed epoch to a JSONL file as the run executes —
+    the CLI's ``--trace-out`` plumbing.  Tracing never changes results
+    (it is free in simulated time).
+    """
     sim = Simulator(seed=seed)
     machine = Machine(sim, arch, latency_jitter=True)
     os = SimOS(machine, default_cpu_node=0)
@@ -68,6 +78,11 @@ def run_conf1(
         os, quartz_config, calibration=calibration or calibrate_arch(arch)
     )
     quartz.attach()
+    if trace_sink is not None:
+        # Local import: repro.quartz.trace imports validation.metrics.
+        from repro.quartz.trace import attach_trace
+
+        attach_trace(quartz, sink=trace_sink)
     outcome = _drive(os, body_factory)
     outcome.quartz_stats = quartz.stats
     return outcome

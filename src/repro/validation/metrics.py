@@ -32,16 +32,25 @@ class TrialStats:
 
 
 def summarize(values: list[float]) -> TrialStats:
-    """Mean/std/min/max over trial values."""
+    """Mean/std/min/max over trial values.
+
+    ``std`` is the *sample* standard deviation (Bessel's ``n - 1``
+    correction) — the right estimator for the paper's small repeated-trial
+    error bars; a single trial has no spread estimate and reports 0.0.
+    """
     if not values:
         raise ValidationError("no trial values to summarize")
     count = len(values)
     mean = sum(values) / count
-    variance = sum((value - mean) ** 2 for value in values) / count
+    if count > 1:
+        variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
     return TrialStats(
         count=count,
         mean=mean,
-        std=math.sqrt(variance),
+        std=std,
         minimum=min(values),
         maximum=max(values),
     )

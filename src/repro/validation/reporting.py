@@ -1,17 +1,43 @@
-"""Structured experiment results and ASCII rendering.
+"""Structured experiment results, ASCII rendering, and serialization.
 
 Every experiment driver returns an :class:`ExperimentResult`: an
 identifier tying it to the paper artefact (e.g. ``figure12``), uniform
 rows of named values, and free-form notes.  :func:`render_table` prints
-the rows as the text analogue of the paper's figure.
+the rows as the text analogue of the paper's figure;
+:meth:`ExperimentResult.to_dict` / :meth:`ExperimentResult.to_json` give
+the machine-readable form consumed by :mod:`repro.validation.export`.
+
+Rows are strictly schematised: :meth:`ExperimentResult.add_row` rejects
+both missing and unknown keys, so a result that renders is also a result
+that exports losslessly.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ValidationError
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a cell value to a plain JSON type.
+
+    Numpy scalars (``np.int64`` row counts, ``np.float64`` timings) carry
+    an ``item()`` returning the Python equivalent; anything else exotic
+    falls back to its string form.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonable(value.item())
+    return str(value)
 
 
 @dataclass
@@ -25,10 +51,18 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
 
     def add_row(self, **values: Any) -> None:
-        """Append one row; keys must match ``columns``."""
+        """Append one row; keys must match ``columns`` exactly."""
         missing = [column for column in self.columns if column not in values]
         if missing:
             raise ValidationError(f"row missing columns {missing}")
+        unknown = [key for key in values if key not in self.columns]
+        if unknown:
+            # A stray key would silently survive in ``rows`` (never
+            # rendered) and leak into the JSON export.
+            raise ValidationError(
+                f"row has keys not in columns: {unknown} "
+                f"(columns: {self.columns})"
+            )
         self.rows.append(values)
 
     def column(self, name: str) -> list[Any]:
@@ -41,14 +75,60 @@ class ExperimentResult:
         """Attach a free-form note (scaling substitutions etc.)."""
         self.notes.append(text)
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe dict: id, title, columns, rows, notes.
+
+        Rows are emitted in column order with values coerced to plain
+        JSON types, so the output is deterministic for deterministic
+        results (the runner's any-job-count guarantee carries through).
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                {column: _jsonable(row[column]) for column in self.columns}
+                for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The canonical JSON form of :meth:`to_dict` (sorted keys)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (validating)."""
+        try:
+            result = cls(
+                experiment_id=str(payload["experiment_id"]),
+                title=str(payload["title"]),
+                columns=list(payload["columns"]),
+                notes=list(payload.get("notes", [])),
+            )
+            rows = payload.get("rows", [])
+        except (KeyError, TypeError) as error:
+            raise ValidationError(f"malformed experiment payload: {error}")
+        for row in rows:
+            result.add_row(**row)
+        return result
+
 
 def _format_cell(value: Any) -> str:
     if isinstance(value, float):
         if value == 0:
-            return "0"
+            return "0"  # normalises -0.0 too
         if abs(value) >= 1000 or abs(value) < 0.01:
             return f"{value:.3g}"
-        return f"{value:.3f}".rstrip("0").rstrip(".")
+        text = f"{value:.3f}".rstrip("0").rstrip(".")
+        if text in ("-0", "0", "-"):
+            # A tiny magnitude rounded to all zeros must not keep its sign.
+            return "0"
+        return text
     return str(value)
 
 
@@ -73,7 +153,10 @@ def render_table(result: ExperimentResult) -> str:
         render_line(result.columns),
         separator,
     ]
-    lines.extend(render_line(cells) for cells in body)
+    if body:
+        lines.extend(render_line(cells) for cells in body)
+    else:
+        lines.append("(no rows)")
     for note in result.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)

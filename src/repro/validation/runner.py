@@ -139,14 +139,31 @@ class RunResult:
 # ----------------------------------------------------------------------
 
 
-def _execute(spec: RunSpec) -> RunOutcome:
+def _execute(spec: RunSpec, index: int = 0) -> RunOutcome:
     arch = arch_by_name(spec.arch_name)
     factory = WORKLOADS[spec.workload](spec.config, spec.extras)
     if spec.mode == "conf1":
         calibration = calibrate_arch(arch, seed=spec.calibration_seed)
-        return run_conf1(
-            arch, factory, spec.quartz, seed=spec.seed, calibration=calibration
+        sink = _trace_writer
+        if sink is not None:
+            sink.begin_run(
+                index=index,
+                workload=spec.workload,
+                arch=spec.arch_name,
+                mode=spec.mode,
+                seed=spec.seed,
+            )
+        outcome = run_conf1(
+            arch,
+            factory,
+            spec.quartz,
+            seed=spec.seed,
+            calibration=calibration,
+            trace_sink=sink,
         )
+        if sink is not None and outcome.quartz_stats is not None:
+            sink.write_stats(outcome.quartz_stats)
+        return outcome
     if spec.mode == "conf2":
         return run_conf2(arch, factory, seed=spec.seed)
     if spec.mode == "native":
@@ -167,7 +184,7 @@ def _run_one(payload: tuple[int, RunSpec]) -> RunResult:
     index, spec = payload
     mem0, disk0, meas0, _ = cache_counters.snapshot()
     started = time.perf_counter()
-    outcome = _execute(spec)
+    outcome = _execute(spec, index)
     wall = time.perf_counter() - started
     mem1, disk1, meas1, _ = cache_counters.snapshot()
     events = (
@@ -244,6 +261,42 @@ def _run_parallel(
 
 
 # ----------------------------------------------------------------------
+# Streaming epoch traces (CLI --trace-out)
+# ----------------------------------------------------------------------
+
+_trace_writer = None  # Optional[JsonlTraceWriter]
+
+
+def set_trace_out(path: Optional[str]):
+    """Open (or, with ``None``, close) the streaming epoch-trace sink.
+
+    While a sink is active every Conf_1 run the runner executes streams
+    its epoch closes and final emulator statistics to the JSONL file
+    (see :mod:`repro.quartz.trace`), and :func:`run_specs` pins itself
+    to in-process execution so the stream stays ordered and race-free.
+    Returns the live writer (``None`` when closing).
+    """
+    global _trace_writer
+    close_trace_out()
+    if path is not None:
+        # Local import: repro.quartz.trace imports validation.metrics.
+        from repro.quartz.trace import JsonlTraceWriter
+
+        _trace_writer = JsonlTraceWriter(path)
+    return _trace_writer
+
+
+def close_trace_out() -> Optional[tuple[str, int, int]]:
+    """Close the active trace sink; returns (path, runs, records)."""
+    global _trace_writer
+    writer, _trace_writer = _trace_writer, None
+    if writer is None:
+        return None
+    writer.close()
+    return (str(writer.path), writer.runs_written, writer.records_written)
+
+
+# ----------------------------------------------------------------------
 # Observability
 # ----------------------------------------------------------------------
 
@@ -261,6 +314,14 @@ class RunnerStats:
     calib_memory_hits: int = 0
     calib_disk_hits: int = 0
     calib_measurements: int = 0
+    #: Provenance of the grid (deterministic for any job count): which
+    #: testbeds, workloads, modes, and seeds the runs covered.  These
+    #: feed the exported :class:`~repro.validation.export.RunManifest`.
+    arch_names: set = field(default_factory=set)
+    workloads: set = field(default_factory=set)
+    modes: set = field(default_factory=set)
+    seeds: set = field(default_factory=set)
+    calibration_seeds: set = field(default_factory=set)
 
     @property
     def calib_hits(self) -> int:
@@ -277,6 +338,28 @@ class RunnerStats:
             f"({self.calib_memory_hits} memory / {self.calib_disk_hits} disk), "
             f"{self.calib_measurements} measurements"
         )
+
+    def telemetry(self) -> dict:
+        """The volatile counters as a JSON-safe dict.
+
+        This is the export document's ``telemetry`` section: wall times,
+        job counts, and cache hit/miss counters legitimately vary
+        between invocations (and between ``--jobs`` values), so they
+        live outside the canonical, digest-covered portion.
+        """
+        return {
+            "runs": self.runs,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "run_wall_s": self.run_wall_s,
+            "events": self.events,
+            "sim_ns": self.sim_ns,
+            "calibration_cache": {
+                "memory_hits": self.calib_memory_hits,
+                "disk_hits": self.calib_disk_hits,
+                "measurements": self.calib_measurements,
+            },
+        }
 
 
 _run_stats: Optional[RunnerStats] = None
@@ -295,13 +378,25 @@ def consume_run_stats() -> Optional[RunnerStats]:
     return stats
 
 
-def _record_stats(results: Sequence[RunResult], jobs: int, wall_s: float) -> None:
+def _record_stats(
+    specs: Sequence[RunSpec],
+    results: Sequence[RunResult],
+    jobs: int,
+    wall_s: float,
+) -> None:
     global _run_stats
     if _run_stats is None:
         _run_stats = RunnerStats(jobs=jobs)
     stats = _run_stats
     stats.jobs = max(stats.jobs, jobs)
     stats.wall_s += wall_s
+    for spec in specs:
+        stats.arch_names.add(spec.arch_name)
+        stats.workloads.add(spec.workload)
+        stats.modes.add(spec.mode)
+        stats.seeds.add(spec.seed)
+        if spec.mode == "conf1":
+            stats.calibration_seeds.add(spec.calibration_seed)
     for result in results:
         stats.runs += 1
         stats.run_wall_s += result.wall_s
@@ -327,6 +422,10 @@ def run_specs(
     byte-identical for any ``jobs`` value.
     """
     jobs = resolve_jobs(jobs)
+    if _trace_writer is not None:
+        # Streaming a trace: stay in-process so the JSONL stream is
+        # ordered and single-writer (results are identical either way).
+        jobs = 1
     payloads = list(enumerate(specs))
     started = time.perf_counter()
     results: Optional[list[RunResult]] = None
@@ -337,5 +436,5 @@ def run_specs(
         jobs = 1
         results = [_run_one(payload) for payload in payloads]
     results.sort(key=lambda result: result.index)
-    _record_stats(results, jobs, time.perf_counter() - started)
+    _record_stats(specs, results, jobs, time.perf_counter() - started)
     return results

@@ -153,3 +153,150 @@ def test_trace_accepts_preexisting_records():
     )
     trace = EpochTrace(records=[record, record, record], max_records=2)
     assert len(trace) == 2  # the cap applies at construction too
+
+
+# ----------------------------------------------------------------------
+# JSONL streaming
+# ----------------------------------------------------------------------
+def test_epoch_record_dict_roundtrip():
+    from repro.quartz.trace import EpochRecord
+
+    record = EpochRecord(
+        time_ns=12.5, tid=3, thread_name="worker",
+        trigger=EpochTrigger.SYNC, epoch_length_ns=1000.0,
+        delay_computed_ns=40.0, delay_injected_ns=35.0,
+    )
+    assert EpochRecord.from_dict(record.to_dict()) == record
+    assert record.to_dict()["trigger"] == "sync"
+
+
+def test_jsonl_sink_streams_past_the_memory_cap(tmp_path):
+    """The file keeps full history even when the in-memory trace drops it."""
+    from repro.quartz.trace import JsonlTraceWriter, read_trace_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    with JsonlTraceWriter(path) as sink:
+        trace = EpochTrace(max_records=3, sink=sink)
+        for index in range(10):
+            trace.record(
+                EpochRecord(
+                    time_ns=float(index), tid=1, thread_name="t",
+                    trigger=EpochTrigger.MONITOR, epoch_length_ns=1.0,
+                    delay_computed_ns=2.0, delay_injected_ns=1.0,
+                )
+            )
+    assert len(trace) == 3  # memory capped...
+    reloaded = read_trace_jsonl(path)
+    assert len(reloaded.trace) == 10  # ...disk is not
+    assert [r.time_ns for r in reloaded.trace.records] == [
+        float(index) for index in range(10)
+    ]
+    # Applying the same cap on reload reproduces the in-memory view.
+    capped = read_trace_jsonl(path, max_records=3)
+    assert list(capped.trace.records) == list(trace.records)
+    assert capped.trace.summary() == trace.summary()
+
+
+def test_live_run_jsonl_roundtrip_reproduces_summary(tmp_path):
+    """A sink-attached run reloads to the exact in-memory summary."""
+    from repro.quartz.trace import JsonlTraceWriter, read_trace_jsonl
+
+    path = tmp_path / "run.jsonl"
+    sim = Simulator(seed=2)
+    machine = Machine(sim, IVY_BRIDGE)
+    osys = SimOS(machine)
+    quartz = Quartz(
+        osys,
+        QuartzConfig(nvm_read_latency_ns=500.0, max_epoch_ns=0.2 * MILLISECOND),
+        calibration=calibrate_arch(IVY_BRIDGE),
+    )
+    quartz.attach()
+    with JsonlTraceWriter(path) as sink:
+        trace = attach_trace(quartz, sink=sink)
+        osys.create_thread(chase_body, name="traced")
+        osys.run_to_completion()
+        sink.write_stats(quartz.stats)
+    assert len(trace) > 5
+    reloaded = read_trace_jsonl(path)
+    assert len(reloaded.trace) == len(trace)
+    assert reloaded.trace.summary() == trace.summary()
+    assert reloaded.stats[0]["epochs_total"] == quartz.stats.epochs_total
+
+
+def test_summarize_trace_jsonl_matches_in_memory_summary(tmp_path):
+    from repro.quartz.trace import (
+        JsonlTraceWriter,
+        summarize_trace_jsonl,
+    )
+
+    path = tmp_path / "cap.jsonl"
+    with JsonlTraceWriter(path) as sink:
+        trace = EpochTrace(max_records=4, sink=sink)
+        for index in range(12):
+            trace.record(
+                EpochRecord(
+                    time_ns=float(index), tid=1, thread_name="t",
+                    trigger=EpochTrigger.MONITOR,
+                    epoch_length_ns=100.0 * (index + 1),
+                    delay_computed_ns=10.0, delay_injected_ns=10.0,
+                )
+            )
+    text = summarize_trace_jsonl(path, max_records=4)
+    assert text.startswith(trace.summary())
+
+
+def test_read_trace_jsonl_rejects_bad_files(tmp_path):
+    from repro.quartz.trace import read_trace_jsonl
+
+    missing = tmp_path / "missing.jsonl"
+    with pytest.raises(QuartzError, match="cannot open"):
+        read_trace_jsonl(missing)
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(QuartzError, match="empty trace file"):
+        read_trace_jsonl(empty)
+
+    not_ours = tmp_path / "other.jsonl"
+    not_ours.write_text('{"kind": "header", "schema": "other"}\n')
+    with pytest.raises(QuartzError, match="not a"):
+        read_trace_jsonl(not_ours)
+
+    future = tmp_path / "future.jsonl"
+    future.write_text(
+        '{"kind": "header", "schema": "quartz-repro/epoch-trace", '
+        '"schema_version": 999}\n'
+    )
+    with pytest.raises(QuartzError, match="unsupported trace schema"):
+        read_trace_jsonl(future)
+
+    garbage = tmp_path / "garbage.jsonl"
+    garbage.write_text(
+        '{"kind": "header", "schema": "quartz-repro/epoch-trace", '
+        '"schema_version": 1}\nnot-json\n'
+    )
+    with pytest.raises(QuartzError, match="not valid JSON"):
+        read_trace_jsonl(garbage)
+
+
+def test_read_trace_jsonl_skips_unknown_kinds(tmp_path):
+    from repro.quartz.trace import JsonlTraceWriter, read_trace_jsonl
+
+    path = tmp_path / "mixed.jsonl"
+    with JsonlTraceWriter(path) as sink:
+        sink.begin_run(index=0, workload="memlat")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "future-extension", "x": 1}\n')
+    reloaded = read_trace_jsonl(path)
+    assert len(reloaded.trace) == 0
+    assert reloaded.runs[0]["workload"] == "memlat"
+
+
+def test_writer_is_idempotent_on_close(tmp_path):
+    from repro.quartz.trace import JsonlTraceWriter
+
+    writer = JsonlTraceWriter(tmp_path / "t.jsonl")
+    writer.close()
+    writer.close()  # second close is a no-op
+    with pytest.raises(QuartzError, match="already closed"):
+        writer.begin_run(index=0)

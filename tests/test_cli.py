@@ -101,3 +101,71 @@ def test_calibrate_refresh(capsys):
     assert main(["calibrate", "--arch", "ivy-bridge", "--refresh"]) == 0
     assert cache_counters.measurements == before + 1
     assert "local DRAM latency" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# JSON export and trace streaming
+# ----------------------------------------------------------------------
+def test_run_format_json_stdout_is_pure_document(capsys):
+    import json
+
+    from repro.validation import export
+
+    assert main(["run", "table2", "--arch", "ivy-bridge", "--trials", "1",
+                 "--jobs", "1", "--format", "json"]) == 0
+    captured = capsys.readouterr()
+    # stdout parses as exactly one JSON document; chatter is on stderr.
+    document = json.loads(captured.out)
+    assert document["schema"] == export.EXPORT_SCHEMA
+    assert document["experiment"]["experiment_id"] == "table2"
+    assert document["manifest"]["content_digest"]
+    assert document["manifest"]["knobs"]["experiment"] == "table2"
+    assert document["telemetry"]["jobs"] == 1
+    assert "completed in" in captured.err
+    assert "runner:" in captured.err
+
+
+def test_run_format_json_out_file_validates(tmp_path, capsys):
+    from repro.validation import export
+
+    target = tmp_path / "table2.json"
+    assert main(["run", "table2", "--arch", "ivy-bridge", "--trials", "1",
+                 "--jobs", "1", "--format", "json", "--out", str(target)]) == 0
+    capsys.readouterr()
+    # The file passes full schema + digest validation on reload.
+    document = export.load_experiment_json(target)
+    rebuilt = export.result_from_document(document)
+    assert rebuilt.experiment_id == "table2"
+    assert rebuilt.rows
+    manifest = export.manifest_from_document(document)
+    assert "ivy-bridge" in manifest.archs
+
+
+def test_trace_out_and_summarize_roundtrip(tmp_path, capsys):
+    trace_file = tmp_path / "epochs.jsonl"
+    assert main(["run", "figure12", "--arch", "ivy-bridge", "--trials", "1",
+                 "--trace-out", str(trace_file)]) == 0
+    captured = capsys.readouterr()
+    assert "epoch trace:" in captured.out
+    assert trace_file.exists()
+    assert main(["trace", "summarize", str(trace_file)]) == 0
+    summary = capsys.readouterr().out
+    assert "epochs over" in summary
+    assert "runs traced:" in summary
+    assert "overhead fully amortized:" in summary
+
+
+def test_trace_out_forces_single_job(tmp_path, capsys):
+    trace_file = tmp_path / "epochs.jsonl"
+    assert main(["run", "figure12", "--arch", "ivy-bridge", "--trials", "1",
+                 "--jobs", "4", "--trace-out", str(trace_file)]) == 0
+    captured = capsys.readouterr()
+    assert "forcing --jobs 1" in captured.err
+    assert trace_file.exists()
+
+
+def test_trace_summarize_bad_file_errors(tmp_path, capsys):
+    bogus = tmp_path / "not-a-trace.jsonl"
+    bogus.write_text("{}\n")
+    assert main(["trace", "summarize", str(bogus)]) == 1
+    assert "error:" in capsys.readouterr().err

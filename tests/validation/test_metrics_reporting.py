@@ -29,7 +29,16 @@ def test_summarize():
     assert stats.mean == pytest.approx(2.5)
     assert stats.minimum == 1.0 and stats.maximum == 4.0
     assert stats.spread == pytest.approx(3.0)
-    assert stats.std == pytest.approx(1.118, rel=0.01)
+    # Sample standard deviation (n - 1), not population: sqrt(5/3).
+    assert stats.std == pytest.approx(1.2910, rel=1e-3)
+
+
+def test_summarize_single_trial_has_zero_std():
+    stats = summarize([7.5])
+    assert stats.count == 1
+    assert stats.mean == 7.5
+    assert stats.std == 0.0
+    assert stats.spread == 0.0
 
 
 def test_summarize_empty_rejected():
@@ -77,6 +86,15 @@ def test_add_row_requires_all_columns():
         result.add_row(name="gamma")
 
 
+def test_add_row_rejects_unknown_keys():
+    """Stray keys would silently leak into the JSON export."""
+    result = make_result()
+    with pytest.raises(ValidationError, match="not in columns"):
+        result.add_row(name="gamma", value=1.0, extra=42)
+    # Nothing was appended by the failed call.
+    assert len(result.rows) == 2
+
+
 def test_column_extraction():
     result = make_result()
     assert result.column("name") == ["alpha", "beta"]
@@ -102,3 +120,78 @@ def test_render_table_aligns_columns():
     header, separator = lines[1], lines[2]
     assert len(header) == len(separator)
     assert "|" in header and "+" in separator
+
+
+def test_format_cell_normalizes_negative_zero():
+    from repro.validation.reporting import _format_cell
+
+    assert _format_cell(-0.0) == "0"
+    assert _format_cell(0.0) == "0"
+    # Negative near-zero values keep a real magnitude, never "-0".
+    assert _format_cell(-0.0004) == "-0.0004"
+    for value in (-0.0, -1e-300, -0.0004, -0.004):
+        assert _format_cell(value) != "-0"
+
+
+def test_render_table_zero_rows_marks_empty_body():
+    result = ExperimentResult(
+        experiment_id="empty-exp",
+        title="No rows produced",
+        columns=["a", "b"],
+    )
+    result.note("explains why")
+    text = render_table(result)
+    assert "(no rows)" in text
+    assert "note: explains why" in text
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def test_to_dict_roundtrip():
+    result = make_result()
+    result.note("a note")
+    payload = result.to_dict()
+    rebuilt = ExperimentResult.from_dict(payload)
+    assert rebuilt == result
+    assert payload["columns"] == ["name", "value"]
+    assert payload["rows"][0] == {"name": "alpha", "value": 1.5}
+    assert payload["notes"] == ["a note"]
+
+
+def test_to_dict_coerces_numpy_scalars():
+    import json
+
+    import numpy as np
+
+    result = ExperimentResult(
+        experiment_id="np-exp", title="numpy cells", columns=["n", "x"]
+    )
+    result.add_row(n=np.int64(3), x=np.float64(1.25))
+    payload = result.to_dict()
+    assert type(payload["rows"][0]["n"]) is int
+    assert type(payload["rows"][0]["x"]) is float
+    json.dumps(payload)  # must not raise
+
+
+def test_to_json_is_deterministic():
+    import json
+
+    result = make_result()
+    text = result.to_json()
+    assert text == make_result().to_json()
+    assert json.loads(text)["experiment_id"] == "test-exp"
+
+
+def test_from_dict_rejects_malformed_payloads():
+    with pytest.raises(ValidationError):
+        ExperimentResult.from_dict({"title": "missing id"})
+    with pytest.raises(ValidationError, match="not in columns"):
+        ExperimentResult.from_dict(
+            {
+                "experiment_id": "x",
+                "title": "t",
+                "columns": ["a"],
+                "rows": [{"a": 1, "stray": 2}],
+            }
+        )
