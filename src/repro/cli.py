@@ -25,6 +25,8 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from repro.errors import FaultPlanError, InvariantViolation
+from repro.faults import FaultPlan, clear_active_faults, set_active_faults
 from repro.hw.arch import arch_by_name
 from repro.quartz.calibration import calibrate_arch
 from repro.validation import export
@@ -88,6 +90,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "stream every emulated (Conf_1) run's epoch closes to this "
             "JSONL file (forces in-process execution; reload with "
             "'quartz-repro trace summarize')"
+        ),
+    )
+    run.add_argument(
+        "--faults",
+        help=(
+            "run under deterministic fault injection; semicolon-separated "
+            "clauses, e.g. 'seed(7); signal-delay(ns=2e6, p=1.0); "
+            "timer-jitter(rel=0.01)' — see repro.faults.plan for the "
+            "full grammar"
+        ),
+    )
+    run.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help=(
+            "attach the runtime invariant monitor (clock monotonicity, "
+            "delay conservation, split proportionality); the run aborts "
+            "with exit code 3 at the first violation"
         ),
     )
 
@@ -175,14 +195,34 @@ def _run_experiment(args: argparse.Namespace) -> int:
     kwargs = _driver_kwargs(args.experiment, driver, args)
     # In JSON mode stdout carries the document and nothing else.
     info = sys.stderr if args.format == "json" else sys.stdout
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = FaultPlan.parse(args.faults)
+        except FaultPlanError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.trace_out:
         set_trace_out(args.trace_out)
+    if fault_plan is not None or args.check_invariants:
+        set_active_faults(fault_plan, args.check_invariants)
     reset_run_stats()
     started = time.time()
     try:
-        result = driver(**kwargs)
-    finally:
-        trace_info = close_trace_out()
+        try:
+            result = driver(**kwargs)
+        finally:
+            trace_info = close_trace_out()
+            clear_active_faults()
+    except InvariantViolation as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "the run aborted at the first violated invariant; re-run "
+            "without --check-invariants to observe the raw (faulted) "
+            "behaviour",
+            file=sys.stderr,
+        )
+        return 3
     wall_s = time.time() - started
     stats = consume_run_stats()
     if args.format == "json":
@@ -195,7 +235,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
                     "experiment": args.experiment,
                     "arch": args.arch,
                     "trials": args.trials,
+                    "check_invariants": bool(args.check_invariants),
                 },
+                faults=fault_plan.to_dict() if fault_plan is not None else None,
             ),
             telemetry=stats.telemetry() if stats is not None else None,
         )

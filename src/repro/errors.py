@@ -44,6 +44,36 @@ class CalibrationError(QuartzError):
     """A calibration step (latency or bandwidth) produced unusable data."""
 
 
+class FaultPlanError(ReproError):
+    """A fault-injection plan was malformed or inconsistent.
+
+    Raised while *parsing or validating* a plan (e.g. the CLI ``--faults``
+    spec) — never during injection, which is always well-defined once a
+    plan validates.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A machine-checked runtime invariant failed during a run.
+
+    Carries structured context so violations are actionable: which
+    invariant, where in simulated time, and the epoch bookkeeping that
+    broke it.  The message renders all of it; the attributes let tests
+    and tooling dispatch without parsing strings.
+    """
+
+    def __init__(self, invariant: str, message: str, context: dict | None = None):
+        self.invariant = invariant
+        self.context = dict(context or {})
+        details = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.context.items())
+        )
+        rendered = f"invariant {invariant!r} violated: {message}"
+        if details:
+            rendered += f" [{details}]"
+        super().__init__(rendered)
+
+
 class WorkloadError(ReproError):
     """A benchmark workload was configured incorrectly."""
 

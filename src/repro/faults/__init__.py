@@ -1,0 +1,31 @@
+"""Deterministic fault injection and runtime invariant checking.
+
+See :mod:`repro.faults.plan` for the declarative :class:`FaultPlan` and
+the CLI ``--faults`` grammar, :mod:`repro.faults.engine` for the seeded
+injectors, :mod:`repro.faults.invariants` for the machine-checked
+invariants, and :mod:`repro.faults.context` for propagation into
+parallel runner workers.
+"""
+
+from repro.faults.context import (
+    FaultContext,
+    active_faults,
+    clear_active_faults,
+    get_active_faults,
+    set_active_faults,
+)
+from repro.faults.engine import DROP_SIGNAL, FaultEngine
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "DROP_SIGNAL",
+    "FaultContext",
+    "FaultEngine",
+    "FaultPlan",
+    "InvariantMonitor",
+    "active_faults",
+    "clear_active_faults",
+    "get_active_faults",
+    "set_active_faults",
+]

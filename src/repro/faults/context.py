@@ -1,0 +1,68 @@
+"""Process-wide fault context, propagated into parallel runner workers.
+
+The CLI (or a test) activates a :class:`FaultContext` before invoking an
+experiment driver; :func:`repro.validation.runner.run_specs` snapshots it
+into every worker payload, so the context reaches pool workers under both
+``fork`` and ``spawn`` start methods without relying on inherited module
+state.  Clean code paths pay a single ``None`` check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.faults.plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """The active fault plan (if any) plus the invariant-checking flag."""
+
+    plan: Optional[FaultPlan] = None
+    check_invariants: bool = False
+
+    @property
+    def active(self) -> bool:
+        """True when this context changes run behaviour at all."""
+        return self.check_invariants or (
+            self.plan is not None and not self.plan.is_empty
+        )
+
+
+_active: Optional[FaultContext] = None
+
+
+def set_active_faults(
+    plan: Optional[FaultPlan] = None, check_invariants: bool = False
+) -> FaultContext:
+    """Install the process-wide fault context and return it."""
+    global _active
+    context = FaultContext(plan=plan, check_invariants=check_invariants)
+    _active = context if context.active else None
+    return context
+
+
+def get_active_faults() -> Optional[FaultContext]:
+    """The currently active context, or None when runs are clean."""
+    return _active
+
+
+def clear_active_faults() -> None:
+    """Deactivate fault injection and invariant checking."""
+    global _active
+    _active = None
+
+
+@contextlib.contextmanager
+def active_faults(
+    plan: Optional[FaultPlan] = None, check_invariants: bool = False
+) -> Iterator[FaultContext]:
+    """Scoped activation for tests: restores the previous context."""
+    global _active
+    previous = _active
+    try:
+        yield set_active_faults(plan, check_invariants)
+    finally:
+        _active = previous

@@ -1,0 +1,279 @@
+"""Declarative fault plans: what to perturb, how hard, and from which seed.
+
+A :class:`FaultPlan` is the single description of one adversarial
+configuration.  It is
+
+* **declarative** — a frozen dataclass of primitives, picklable, so it
+  travels unchanged into parallel runner workers;
+* **seeded** — all injector randomness derives from ``(plan seed, run
+  seed)``, so a faulted run is exactly as reproducible as an un-faulted
+  one (the jobs-invariance guarantee extends to faulted grids);
+* **recordable** — :meth:`FaultPlan.to_dict` is embedded in the exported
+  :class:`~repro.validation.export.RunManifest`, so a faulted export
+  names the perturbation that produced it.
+
+The CLI spec grammar (``run --faults <spec>``) is semicolon-separated
+clauses, each ``kind`` or ``kind(param=value, ...)``::
+
+    seed(7); signal-delay(ns=2e6, p=1.0); timer-jitter(rel=0.01)
+
+Supported kinds (targets in parentheses):
+
+=====================  ===================================================
+``timer-jitter``       relative jitter/drift on every scheduled delay
+                       (``Simulator.schedule``); params ``rel``, ``drift``
+``signal-delay``       delay monitor-signal delivery (``SimOS.post_signal``);
+                       params ``ns``, ``p``
+``signal-drop``        drop monitor signals outright; param ``p``
+``monitor-miss``       the monitor thread skips a wake-up scan; param ``p``
+``counter-stale``      a counter read returns the previously observed
+                       value (``PmcFile.read``); param ``p``
+``counter-wrap``       counters wrap modulo ``2**bits`` (overflow);
+                       param ``bits``
+``calib-perturb``      relative perturbation of calibrated latency and
+                       bandwidth points; param ``rel``
+``seed``               the fault seed; param ``value`` (or positional)
+=====================  ===================================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.errors import FaultPlanError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One validated fault-injection configuration (see module docs)."""
+
+    #: Seed mixed with each run's own seed to derive injector randomness.
+    seed: int = 0
+    #: Relative uniform jitter applied to every scheduled delay, in
+    #: ``[0, 1)``: a delay ``d`` becomes ``d * (1 + drift + rel*U[-1,1])``.
+    timer_jitter_rel: float = 0.0
+    #: Constant multiplicative clock drift on scheduled delays, ``> -1``.
+    timer_drift_rel: float = 0.0
+    #: Extra delivery latency for epoch signals (simulated ns).
+    signal_delay_ns: float = 0.0
+    #: Probability a posted signal is delayed by ``signal_delay_ns``.
+    signal_delay_p: float = 1.0
+    #: Probability a posted signal is dropped (never delivered).
+    signal_drop_p: float = 0.0
+    #: Probability the monitor thread skips one wake-up scan entirely.
+    monitor_miss_p: float = 0.0
+    #: Probability a performance-counter read returns the stale (previous)
+    #: observation instead of the fresh one.
+    counter_stale_p: float = 0.0
+    #: Counter register width in bits; reads wrap modulo ``2**bits``.
+    counter_wrap_bits: Optional[int] = None
+    #: Relative perturbation applied to calibrated latencies and the
+    #: bandwidth table before the emulator attaches.
+    calib_perturb_rel: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`FaultPlanError` on inconsistent settings."""
+        for name in (
+            "signal_delay_p", "signal_drop_p", "monitor_miss_p",
+            "counter_stale_p",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be a probability in [0, 1]: {value}"
+                )
+        if not 0.0 <= self.timer_jitter_rel < 1.0:
+            raise FaultPlanError(
+                "timer-jitter rel must be in [0, 1) so delays stay "
+                f"non-negative: {self.timer_jitter_rel}"
+            )
+        if self.timer_drift_rel <= -1.0 + self.timer_jitter_rel:
+            raise FaultPlanError(
+                "timer drift would make delays negative: "
+                f"drift={self.timer_drift_rel}, jitter={self.timer_jitter_rel}"
+            )
+        if self.signal_delay_ns < 0:
+            raise FaultPlanError(
+                f"signal-delay ns must be non-negative: {self.signal_delay_ns}"
+            )
+        if self.counter_wrap_bits is not None and not (
+            8 <= self.counter_wrap_bits <= 64
+        ):
+            raise FaultPlanError(
+                "counter-wrap bits must be in [8, 64]: "
+                f"{self.counter_wrap_bits}"
+            )
+        if not 0.0 <= self.calib_perturb_rel < 0.5:
+            raise FaultPlanError(
+                "calib-perturb rel must be in [0, 0.5) so calibration "
+                f"stays physical: {self.calib_perturb_rel}"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when no injector would ever fire (seed alone is empty)."""
+        return (
+            self.timer_jitter_rel == 0.0
+            and self.timer_drift_rel == 0.0
+            and (self.signal_delay_ns == 0.0 or self.signal_delay_p == 0.0)
+            and self.signal_drop_p == 0.0
+            and self.monitor_miss_p == 0.0
+            and self.counter_stale_p == 0.0
+            and self.counter_wrap_bits is None
+            and self.calib_perturb_rel == 0.0
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: only non-default fields, plus the seed.
+
+        This is what the exported :class:`RunManifest` records — compact
+        and stable, so a faulted export's digest pins the exact plan.
+        """
+        payload: dict = {"seed": self.seed}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name != "seed" and value != spec.default:
+                payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultPlanError(f"unknown fault-plan fields: {unknown}")
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise FaultPlanError(f"malformed fault plan: {error}")
+
+    # ------------------------------------------------------------------
+    # The CLI spec grammar
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``--faults`` spec string into a validated plan.
+
+        Raises :class:`FaultPlanError` with an actionable message (the
+        offending clause plus the supported kinds) on any defect.
+        """
+        values: dict = {}
+        clauses = [clause.strip() for clause in spec.split(";")]
+        clauses = [clause for clause in clauses if clause]
+        if not clauses:
+            raise FaultPlanError(
+                "empty --faults spec; expected clauses like "
+                f"'signal-delay(ns=2e6)' ({_supported_kinds()})"
+            )
+        for clause in clauses:
+            kind, params = _parse_clause(clause)
+            _apply_clause(values, clause, kind, params)
+        try:
+            return cls(**values)
+        except FaultPlanError as error:
+            raise FaultPlanError(f"invalid --faults spec: {error}")
+
+
+#: Clause kind -> (param name -> FaultPlan field).  ``seed`` is special.
+_KINDS: dict[str, dict[str, str]] = {
+    "timer-jitter": {"rel": "timer_jitter_rel", "drift": "timer_drift_rel"},
+    "signal-delay": {"ns": "signal_delay_ns", "p": "signal_delay_p"},
+    "signal-drop": {"p": "signal_drop_p"},
+    "monitor-miss": {"p": "monitor_miss_p"},
+    "counter-stale": {"p": "counter_stale_p"},
+    "counter-wrap": {"bits": "counter_wrap_bits"},
+    "calib-perturb": {"rel": "calib_perturb_rel"},
+}
+
+_CLAUSE_RE = re.compile(r"^([a-z-]+)\s*(?:\((.*)\))?$")
+
+
+def _supported_kinds() -> str:
+    return "supported kinds: " + ", ".join(sorted(_KINDS) + ["seed"])
+
+
+def _parse_clause(clause: str) -> tuple[str, dict[str, str]]:
+    match = _CLAUSE_RE.match(clause)
+    if match is None:
+        raise FaultPlanError(
+            f"malformed --faults clause {clause!r}; expected "
+            f"'kind(param=value, ...)' ({_supported_kinds()})"
+        )
+    kind, body = match.group(1), match.group(2)
+    params: dict[str, str] = {}
+    if body is not None and body.strip():
+        for item in body.split(","):
+            item = item.strip()
+            if "=" in item:
+                key, _, raw = item.partition("=")
+                params[key.strip()] = raw.strip()
+            elif kind == "seed" and "value" not in params:
+                params["value"] = item  # seed(7) positional shorthand
+            else:
+                raise FaultPlanError(
+                    f"malformed parameter {item!r} in --faults clause "
+                    f"{clause!r}; expected 'param=value'"
+                )
+    return kind, params
+
+
+def _apply_clause(
+    values: dict, clause: str, kind: str, params: dict[str, str]
+) -> None:
+    if kind == "seed":
+        raw = params.get("value")
+        if raw is None or set(params) - {"value"}:
+            raise FaultPlanError(
+                f"the seed clause takes exactly one value, e.g. 'seed(7)': "
+                f"{clause!r}"
+            )
+        values["seed"] = _parse_number(clause, "seed", raw, integer=True)
+        return
+    mapping = _KINDS.get(kind)
+    if mapping is None:
+        raise FaultPlanError(
+            f"unknown fault kind {kind!r} in --faults clause {clause!r}; "
+            f"{_supported_kinds()}"
+        )
+    if not params:
+        raise FaultPlanError(
+            f"--faults clause {clause!r} needs parameters: "
+            f"{', '.join(sorted(mapping))}"
+        )
+    for key, raw in params.items():
+        field_name = mapping.get(key)
+        if field_name is None:
+            raise FaultPlanError(
+                f"unknown parameter {key!r} for fault kind {kind!r} "
+                f"(expected: {', '.join(sorted(mapping))})"
+            )
+        integer = field_name == "counter_wrap_bits"
+        values[field_name] = _parse_number(clause, key, raw, integer=integer)
+
+
+def _parse_number(clause: str, key: str, raw: str, integer: bool = False):
+    try:
+        value = float(raw)
+        if integer:
+            if value != int(value):
+                raise ValueError("not an integer")
+            return int(value)
+        return value
+    except ValueError:
+        expected = "an integer" if integer else "a number"
+        raise FaultPlanError(
+            f"parameter {key}={raw!r} in --faults clause {clause!r} "
+            f"is not {expected}"
+        )

@@ -70,6 +70,13 @@ class SimOS:
         #: Per-signum handler: generator fn ``handler(thread, signal)``
         #: yielding ops, run with further signals masked.
         self.signal_handlers: dict[int, Callable] = {}
+        #: Optional fault hook ``(thread, signal) -> None | "drop" | ns``
+        #: consulted once per :meth:`post_signal` (delayed re-posts are
+        #: exempt, so one fault decision governs one post).
+        self.signal_interceptor: Optional[Callable] = None
+        #: The installed fault engine, if any — the monitor thread asks it
+        #: whether to skip a wake-up scan.
+        self.fault_engine = None
         # Live threads per socket drive the cache model's LLC sharing.
         self._live_threads_per_socket = [0] * machine.arch.sockets
 
@@ -283,14 +290,29 @@ class SimOS:
     # ------------------------------------------------------------------
     # Signals
     # ------------------------------------------------------------------
-    def post_signal(self, thread: SimThread, signal: Signal) -> bool:
+    def post_signal(
+        self, thread: SimThread, signal: Signal, *, faulted: bool = False
+    ) -> bool:
         """Deliver (or queue) a signal to a thread.
 
         Returns False if the thread already finished — the monitor/exit
-        race is benign, as on a real system.
+        race is benign, as on a real system.  When a fault interceptor is
+        installed it may drop the signal or defer delivery by a simulated
+        delay (``faulted=True`` marks the deferred re-post, which is not
+        intercepted again).
         """
         if thread.finished:
             return False
+        if not faulted and self.signal_interceptor is not None:
+            verdict = self.signal_interceptor(thread, signal)
+            if verdict == "drop":
+                return True
+            if verdict:
+                self.sim.schedule(
+                    float(verdict),
+                    lambda: self.post_signal(thread, signal, faulted=True),
+                )
+                return True
         if thread.signals_masked or not thread.process.interruptible:
             # POSIX semantics: a standard signal already pending is not
             # queued again — repeats coalesce into one delivery.

@@ -264,6 +264,9 @@ class Quartz:
         interval = self.config.effective_monitor_interval_ns
         while self._attached:
             yield Sleep(interval)
+            fault_engine = self.os.fault_engine
+            if fault_engine is not None and fault_engine.monitor_skips_wakeup():
+                continue  # a missed wake-up: no scan, no signals this tick
             self.stats.monitor_wakeups += 1
             assert self._engine is not None
             for thread in list(self._registered.values()):

@@ -53,6 +53,64 @@ if TYPE_CHECKING:
 BOUNDARY_COST_CYCLES = 60.0
 
 
+def amortize_delay(
+    pool_ns: float, overhead_ns: float, delay_ns: float
+) -> tuple[float, float, float]:
+    """Section 3.2 amortisation as a pure function.
+
+    The epoch's processing overhead joins the carried pool; the pool then
+    absorbs as much of the computed delay as it can.  Returns
+    ``(injected_ns, amortized_ns, new_pool_ns)`` satisfying, for
+    non-negative inputs::
+
+        injected + amortized == delay        (conservation)
+        0 <= injected <= delay               (never schedules into the past)
+        new_pool >= 0                        (carry is never negative)
+
+    Branching on which side is exhausted keeps the carry exactly
+    non-negative: the naive ``pool - (delay - injected)`` form loses one
+    ulp when ``delay - pool`` rounds, leaving a pool of ``-1e-17``.
+    """
+    pool = pool_ns + overhead_ns
+    if delay_ns > pool:
+        # Pool fully consumed: everything beyond it is injected.
+        return delay_ns - pool, pool, 0.0
+    # Delay fully absorbed: the remainder stays carried (>= 0 exactly,
+    # because subtracting a smaller float from a larger one never rounds
+    # below zero).
+    return 0.0, delay_ns, pool - delay_ns
+
+
+@dataclass(frozen=True)
+class EpochCloseInfo:
+    """One epoch close, as seen by observers (e.g. the InvariantMonitor).
+
+    Carries the full accounting picture — computed delay, amortisation
+    split, overhead pool before/after, and (for sync closes) the CS /
+    out-of-CS shares — so invariants can be checked without re-deriving
+    any of it.
+    """
+
+    time_ns: float
+    tid: int
+    thread_name: str
+    trigger: EpochTrigger
+    epoch_length_ns: float
+    delay_computed_ns: float
+    injected_ns: float
+    amortized_ns: float
+    overhead_added_ns: float
+    pool_before_ns: float
+    pool_after_ns: float
+    cs_wall_ns: float
+    out_wall_ns: float
+    #: The delay actually handed to the CS/out split (None for monitor and
+    #: exit closes, which inject everything in place).
+    split_delay_ns: Optional[float] = None
+    cs_share_ns: Optional[float] = None
+    out_share_ns: Optional[float] = None
+
+
 @dataclass
 class ThreadEpochState:
     """The Quartz library's per-thread bookkeeping."""
@@ -101,6 +159,11 @@ class EpochEngine:
         self.stats = stats
         self._events = machine.arch.counter_events
         self._freq_ghz = machine.arch.freq_ghz  # nominal (DVFS assumed off)
+        #: Callables invoked with an :class:`EpochCloseInfo` after every
+        #: close's accounting (before the delay spins execute).  The
+        #: fault layer's InvariantMonitor attaches here; observers may
+        #: raise to abort the run.
+        self.close_observers: list = []
         if config.mode is EmulationMode.TWO_MEMORY:
             machine.arch.require_local_remote_counters()
 
@@ -135,8 +198,27 @@ class EpochEngine:
         """Close the thread's epoch, inject delay in place, reopen."""
         state = self._state_of(thread)
         self._accrue_segment(state)
+        epoch_length_ns = self.machine.sim.now - state.start_ns
+        cs_wall_ns, out_wall_ns = state.cs_wall_ns, state.out_wall_ns
         delay_ns, cost_cycles = self._close_measure(thread, state, trigger)
-        injected_ns = self._amortize(thread, state, delay_ns)
+        injected_ns, amortized_ns, overhead_ns, pool_before = self._amortize(
+            thread, state, delay_ns
+        )
+        self._notify_close(EpochCloseInfo(
+            time_ns=self.machine.sim.now,
+            tid=thread.tid,
+            thread_name=thread.name,
+            trigger=trigger,
+            epoch_length_ns=epoch_length_ns,
+            delay_computed_ns=delay_ns,
+            injected_ns=injected_ns,
+            amortized_ns=amortized_ns,
+            overhead_added_ns=overhead_ns,
+            pool_before_ns=pool_before,
+            pool_after_ns=state.overhead_pool_ns,
+            cs_wall_ns=cs_wall_ns,
+            out_wall_ns=out_wall_ns,
+        ))
         yield Compute(cost_cycles, label="quartz-epoch-processing")
         if self.config.injection_enabled and injected_ns > 0.0:
             self.stats.thread(thread.tid).delay_injected_ns += injected_ns
@@ -168,17 +250,39 @@ class EpochEngine:
         if self.epoch_elapsed_ns(thread) < self.config.min_epoch_ns:
             thread_stats.closes_skipped_min_epoch += 1
             return None
+        epoch_length_ns = self.epoch_elapsed_ns(thread)
+        cs_wall_ns, out_wall_ns = state.cs_wall_ns, state.out_wall_ns
         delay_ns, cost_cycles = self._close_measure(
             thread, state, EpochTrigger.SYNC
         )
-        injected_ns = self._amortize(thread, state, delay_ns)
-        if not self.config.injection_enabled:
-            injected_ns = 0.0
-        else:
-            thread_stats.delay_injected_ns += injected_ns
-        cs_share, out_share = self._split_delay(state, injected_ns)
+        injected_ns, amortized_ns, overhead_ns, pool_before = self._amortize(
+            thread, state, delay_ns
+        )
+        # The accounting keeps the true injected share even when injection
+        # is switched off; only the spins (the "effective" delay) go to 0.
+        effective_ns = injected_ns if self.config.injection_enabled else 0.0
+        thread_stats.delay_injected_ns += effective_ns
+        cs_share, out_share = self._split_delay(state, effective_ns)
         state.cs_wall_ns = 0.0
         state.out_wall_ns = 0.0
+        self._notify_close(EpochCloseInfo(
+            time_ns=self.machine.sim.now,
+            tid=thread.tid,
+            thread_name=thread.name,
+            trigger=EpochTrigger.SYNC,
+            epoch_length_ns=epoch_length_ns,
+            delay_computed_ns=delay_ns,
+            injected_ns=injected_ns,
+            amortized_ns=amortized_ns,
+            overhead_added_ns=overhead_ns,
+            pool_before_ns=pool_before,
+            pool_after_ns=state.overhead_pool_ns,
+            cs_wall_ns=cs_wall_ns,
+            out_wall_ns=out_wall_ns,
+            split_delay_ns=effective_ns,
+            cs_share_ns=cs_share,
+            out_share_ns=out_share,
+        ))
         if kind == "release":
             # CS delay propagates to waiters; outside delay after release.
             return SyncClosePlan(cost_cycles, pre_spin_ns=cs_share,
@@ -238,7 +342,9 @@ class EpochEngine:
         total_wall = state.cs_wall_ns + state.out_wall_ns
         if total_wall <= 0.0:
             return delay_ns, 0.0
-        cs_share = delay_ns * state.cs_wall_ns / total_wall
+        # Ratio first: ``delay * cs_wall`` can underflow to zero when both
+        # operands are tiny even though the quotient is well-scaled.
+        cs_share = delay_ns * (state.cs_wall_ns / total_wall)
         # Guard float rounding: the remainder must never go (even one ulp)
         # negative, or it would construct a negative spin.
         return cs_share, max(0.0, delay_ns - cs_share)
@@ -249,8 +355,12 @@ class EpochEngine:
         """Read counters, compute the epoch's delay, update stats."""
         pmc = self.machine.pmc(thread.core.core_id)
         values, read_cost_cycles = self.backend.read_all(pmc, self._events)
+        # Clamp each delta at zero: counter reads are monotone on healthy
+        # hardware, but wrapped/overflowed registers (real, and emulated by
+        # the fault layer) would otherwise turn the Eq. 2/3 model negative.
         deltas = {
-            name: values[name] - state.counter_base[name] for name in values
+            name: max(0.0, values[name] - state.counter_base[name])
+            for name in values
         }
         state.counter_base = values
         delay_ns = self._delay_from_deltas(deltas)
@@ -267,21 +377,30 @@ class EpochEngine:
 
     def _amortize(
         self, thread: "SimThread", state: ThreadEpochState, delay_ns: float
-    ) -> float:
-        """Section 3.2 overhead amortisation; returns the delay to inject."""
+    ) -> tuple[float, float, float, float]:
+        """Section 3.2 overhead amortisation against the thread's pool.
+
+        Returns ``(injected_ns, amortized_ns, overhead_ns, pool_before_ns)``
+        — everything close observers need to audit the accounting.
+        """
         overhead_ns = (
             EPOCH_BASE_COST_CYCLES
             + self.backend.fixed_cost_cycles
             + self.backend.cost_per_event_cycles * len(self._events.all_events())
         ) / self._freq_ghz
-        state.overhead_pool_ns += overhead_ns
-        injected_ns = max(0.0, delay_ns - state.overhead_pool_ns)
-        amortized_ns = delay_ns - injected_ns
-        state.overhead_pool_ns -= amortized_ns
+        pool_before = state.overhead_pool_ns
+        injected_ns, amortized_ns, new_pool = amortize_delay(
+            pool_before, overhead_ns, delay_ns
+        )
+        state.overhead_pool_ns = new_pool
         thread_stats = self.stats.thread(thread.tid)
         thread_stats.overhead_ns += overhead_ns
         thread_stats.overhead_amortized_ns += amortized_ns
-        return injected_ns
+        return injected_ns, amortized_ns, overhead_ns, pool_before
+
+    def _notify_close(self, info: EpochCloseInfo) -> None:
+        for observer in self.close_observers:
+            observer(info)
 
     def _reopen(self, state: ThreadEpochState) -> None:
         state.start_ns = self.machine.sim.now

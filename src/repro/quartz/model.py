@@ -93,11 +93,19 @@ def eq4_remote_stall_split(
         raise QuartzError("negative reference counts")
     if local_latency_ns <= 0 or remote_latency_ns <= 0:
         raise QuartzError("latencies must be positive")
-    remote_weight = remote_references * remote_latency_ns
-    denominator = local_references * local_latency_ns + remote_weight
+    # Normalise by the larger reference count before weighting: raw
+    # products underflow into subnormals when the counts are at the
+    # bottom of the float range, and the lost bits break the local/remote
+    # partition (local + remote would exceed the total).  Computing the
+    # ratio first keeps the result within [0, total].
+    scale = max(local_references, remote_references)
+    if scale <= 0:
+        return 0.0
+    remote_weight = (remote_references / scale) * remote_latency_ns
+    denominator = (local_references / scale) * local_latency_ns + remote_weight
     if denominator <= 0:
         return 0.0
-    return total_stall_ns * remote_weight / denominator
+    return total_stall_ns * (remote_weight / denominator)
 
 
 def _require_latencies(nvm_latency_ns: float, dram_latency_ns: float) -> None:

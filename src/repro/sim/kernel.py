@@ -28,12 +28,23 @@ class Simulator:
         self._seq = 0
         self._events_dispatched = 0
         self.random = RandomStreams(seed=seed)
+        #: Optional hook mapping a relative delay to a perturbed delay —
+        #: the fault layer's timer-jitter/drift seam.  Must return a
+        #: non-negative float; None (the default) costs one attribute
+        #: check per schedule.
+        self.schedule_interceptor: Optional[Callable[[float], float]] = None
+        #: Optional hook invoked with each event as it is dispatched,
+        #: after the clock advances — the invariant monitor's view of
+        #: clock monotonicity and FIFO tie-breaking.
+        self.dispatch_observer: Optional[Callable[[ScheduledEvent], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay_ns: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule *callback* to run ``delay_ns`` from now."""
+        if self.schedule_interceptor is not None:
+            delay_ns = self.schedule_interceptor(delay_ns)
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
         return self.schedule_at(self.now + delay_ns, callback)
@@ -60,6 +71,8 @@ class Simulator:
                 continue
             self.now = event.time
             self._events_dispatched += 1
+            if self.dispatch_observer is not None:
+                self.dispatch_observer(event)
             event._fire()
             return True
         return False

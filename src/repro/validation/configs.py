@@ -18,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.faults.engine import FaultEngine
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.plan import FaultPlan
 from repro.hw.arch import ArchSpec
 from repro.hw.machine import Machine
 from repro.os.system import SimOS
@@ -39,6 +42,41 @@ class RunOutcome:
     elapsed_ns: float
     quartz_stats: Optional[QuartzStats] = None
     machine: Optional[Machine] = None
+    #: :meth:`FaultEngine.report` of a faulted run (None when clean).
+    fault_report: Optional[dict] = None
+    #: :meth:`InvariantMonitor.report` when ``check_invariants`` was set.
+    invariant_report: Optional[dict] = None
+
+
+def _fault_setup(
+    machine: Machine,
+    os: SimOS,
+    seed: int,
+    fault_plan: Optional[FaultPlan],
+    check_invariants: bool,
+) -> tuple[Optional[FaultEngine], Optional[InvariantMonitor]]:
+    """Install the run's fault engine and/or invariant monitor (if any)."""
+    engine = None
+    if fault_plan is not None and not fault_plan.is_empty:
+        engine = FaultEngine(fault_plan, run_seed=seed)
+        engine.install(machine=machine, os=os)
+    monitor = None
+    if check_invariants:
+        monitor = InvariantMonitor()
+        monitor.attach_sim(machine.sim)
+    return engine, monitor
+
+
+def _fault_finish(
+    outcome: "RunOutcome",
+    engine: Optional[FaultEngine],
+    monitor: Optional[InvariantMonitor],
+) -> RunOutcome:
+    if engine is not None:
+        outcome.fault_report = engine.report()
+    if monitor is not None:
+        outcome.invariant_report = monitor.report()
+    return outcome
 
 
 BodyFactory = Callable[[dict], Callable]
@@ -63,6 +101,8 @@ def run_conf1(
     seed: int = 0,
     calibration: Optional[CalibrationData] = None,
     trace_sink: Optional["JsonlTraceWriter"] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
 ) -> RunOutcome:
     """Conf_1: local memory, Quartz emulating the target latency.
 
@@ -70,14 +110,25 @@ def run_conf1(
     streams every closed epoch to a JSONL file as the run executes —
     the CLI's ``--trace-out`` plumbing.  Tracing never changes results
     (it is free in simulated time).
+
+    ``fault_plan`` runs the experiment under seeded fault injection;
+    ``check_invariants`` attaches an :class:`InvariantMonitor` that
+    raises :class:`~repro.errors.InvariantViolation` at the first broken
+    runtime invariant.  Both are recorded on the outcome.
     """
     sim = Simulator(seed=seed)
     machine = Machine(sim, arch, latency_jitter=True)
     os = SimOS(machine, default_cpu_node=0)
-    quartz = Quartz(
-        os, quartz_config, calibration=calibration or calibrate_arch(arch)
-    )
+    engine, monitor = _fault_setup(machine, os, seed, fault_plan, check_invariants)
+    calibration = calibration or calibrate_arch(arch)
+    if engine is not None:
+        # Perturbed calibration models a mis-measured testbed; it must be
+        # in place before the emulator derives its latency model from it.
+        calibration = engine.perturb_calibration(calibration)
+    quartz = Quartz(os, quartz_config, calibration=calibration)
     quartz.attach()
+    if monitor is not None:
+        monitor.attach_quartz(quartz)
     if trace_sink is not None:
         # Local import: repro.quartz.trace imports validation.metrics.
         from repro.quartz.trace import attach_trace
@@ -85,27 +136,37 @@ def run_conf1(
         attach_trace(quartz, sink=trace_sink)
     outcome = _drive(os, body_factory)
     outcome.quartz_stats = quartz.stats
-    return outcome
+    return _fault_finish(outcome, engine, monitor)
 
 
 def run_conf2(
-    arch: ArchSpec, body_factory: BodyFactory, seed: int = 0
+    arch: ArchSpec,
+    body_factory: BodyFactory,
+    seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
 ) -> RunOutcome:
     """Conf_2: memory physically on the remote socket, no emulator."""
     sim = Simulator(seed=seed)
     machine = Machine(sim, arch, latency_jitter=True)
     os = SimOS(machine, default_cpu_node=0, default_mem_node=1)
-    return _drive(os, body_factory)
+    engine, monitor = _fault_setup(machine, os, seed, fault_plan, check_invariants)
+    return _fault_finish(_drive(os, body_factory), engine, monitor)
 
 
 def run_native(
-    arch: ArchSpec, body_factory: BodyFactory, seed: int = 0
+    arch: ArchSpec,
+    body_factory: BodyFactory,
+    seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
 ) -> RunOutcome:
     """Local memory, no emulator (the unmodified baseline)."""
     sim = Simulator(seed=seed)
     machine = Machine(sim, arch, latency_jitter=True)
     os = SimOS(machine, default_cpu_node=0)
-    return _drive(os, body_factory)
+    engine, monitor = _fault_setup(machine, os, seed, fault_plan, check_invariants)
+    return _fault_finish(_drive(os, body_factory), engine, monitor)
 
 
 def _drive_default_thread(os: SimOS, body_factory: BodyFactory) -> RunOutcome:
@@ -127,7 +188,12 @@ def _drive_default_thread(os: SimOS, body_factory: BodyFactory) -> RunOutcome:
 
 
 def run_chase(
-    arch: ArchSpec, body_factory: BodyFactory, seed: int = 0, mem_node: int = 0
+    arch: ArchSpec,
+    body_factory: BodyFactory,
+    seed: int = 0,
+    mem_node: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
 ) -> RunOutcome:
     """Raw latency measurement: memory bound to *mem_node*, no emulator.
 
@@ -137,11 +203,17 @@ def run_chase(
     sim = Simulator(seed=seed)
     machine = Machine(sim, arch, latency_jitter=True)
     os = SimOS(machine, default_cpu_node=0, default_mem_node=mem_node)
-    return _drive_default_thread(os, body_factory)
+    engine, monitor = _fault_setup(machine, os, seed, fault_plan, check_invariants)
+    return _fault_finish(_drive_default_thread(os, body_factory), engine, monitor)
 
 
 def run_throttled(
-    arch: ArchSpec, body_factory: BodyFactory, seed: int = 0, register: int = 0
+    arch: ArchSpec,
+    body_factory: BodyFactory,
+    seed: int = 0,
+    register: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
 ) -> RunOutcome:
     """Bandwidth measurement under one thermal-throttle register setting.
 
@@ -152,4 +224,5 @@ def run_throttled(
     machine = Machine(sim, arch)
     machine.controller(0).program_throttle_register(register, privileged=True)
     os = SimOS(machine, default_cpu_node=0)
-    return _drive_default_thread(os, body_factory)
+    engine, monitor = _fault_setup(machine, os, seed, fault_plan, check_invariants)
+    return _fault_finish(_drive_default_thread(os, body_factory), engine, monitor)

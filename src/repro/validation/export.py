@@ -84,6 +84,10 @@ class RunManifest:
     #: The CLI/config knobs of the invocation (experiment id, --arch,
     #: --trials, ...).  Volatile knobs (``--jobs``) belong in telemetry.
     knobs: dict = field(default_factory=dict)
+    #: The :meth:`~repro.faults.plan.FaultPlan.to_dict` of a faulted
+    #: invocation (None for clean runs).  Digest-covered, so a faulted
+    #: export can never pass for a clean one.
+    faults: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -97,6 +101,7 @@ class RunManifest:
             "calibration_seeds": list(self.calibration_seeds),
             "calibration_schema": self.calibration_schema,
             "knobs": dict(self.knobs),
+            "faults": dict(self.faults) if self.faults is not None else None,
         }
 
     @classmethod
@@ -115,19 +120,27 @@ class RunManifest:
                     payload.get("calibration_schema", CALIBRATION_CACHE_SCHEMA)
                 ),
                 knobs=dict(payload.get("knobs", {})),
+                faults=(
+                    dict(payload["faults"])
+                    if payload.get("faults") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ValidationError(f"malformed manifest payload: {error}")
 
 
 def build_manifest(
-    stats: Optional[RunnerStats] = None, knobs: Optional[dict] = None
+    stats: Optional[RunnerStats] = None,
+    knobs: Optional[dict] = None,
+    faults: Optional[dict] = None,
 ) -> RunManifest:
     """Assemble a manifest from a driver invocation's runner stats.
 
     ``stats`` is the :func:`~repro.validation.runner.consume_run_stats`
     aggregate (its provenance sets are deterministic for any job count);
-    ``knobs`` records the invocation's configuration flags.
+    ``knobs`` records the invocation's configuration flags; ``faults``
+    is the active :meth:`~repro.faults.plan.FaultPlan.to_dict` (if any).
     """
     archs: dict = {}
     workloads: tuple = ()
@@ -153,6 +166,7 @@ def build_manifest(
         seeds=seeds,
         calibration_seeds=calibration_seeds,
         knobs=dict(knobs or {}),
+        faults=dict(faults) if faults is not None else None,
     )
 
 
@@ -193,6 +207,21 @@ def content_digest(document: dict) -> str:
     return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
 
 
+def experiment_digest(document: dict) -> str:
+    """SHA-256 over the ``experiment`` section alone.
+
+    Unlike :func:`content_digest` this ignores the manifest, whose
+    ``git_sha`` / version fields legitimately change between commits —
+    so it is the digest to pin in golden regression tests: it moves if
+    and only if simulated results move.
+    """
+    section = document.get("experiment")
+    if section is None:
+        raise ValidationError("document has no 'experiment' section")
+    text = json.dumps(section, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def build_document(
     result: ExperimentResult,
     manifest: RunManifest,
@@ -221,14 +250,16 @@ def write_experiment_json(
     stats: Optional[RunnerStats] = None,
     knobs: Optional[dict] = None,
     manifest: Optional[RunManifest] = None,
+    faults: Optional[dict] = None,
 ) -> dict:
     """Serialize one experiment to *path*; returns the written document.
 
-    The manifest defaults to :func:`build_manifest` over ``stats`` and
-    ``knobs``; telemetry is taken from ``stats`` when present.
+    The manifest defaults to :func:`build_manifest` over ``stats``,
+    ``knobs``, and ``faults``; telemetry is taken from ``stats`` when
+    present.
     """
     if manifest is None:
-        manifest = build_manifest(stats=stats, knobs=knobs)
+        manifest = build_manifest(stats=stats, knobs=knobs, faults=faults)
     telemetry = stats.telemetry() if stats is not None else None
     document = build_document(result, manifest, telemetry=telemetry)
     Path(path).write_text(dumps_document(document), encoding="utf-8")

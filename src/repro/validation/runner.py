@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import ValidationError
+from repro.faults.context import get_active_faults
+from repro.faults.plan import FaultPlan
 from repro.hw.arch import arch_by_name
 from repro.quartz.calibration import cache_counters, calibrate_arch
 from repro.quartz.config import QuartzConfig
@@ -132,6 +134,14 @@ class RunResult:
     calib_memory_hits: int = 0
     calib_disk_hits: int = 0
     calib_measurements: int = 0
+    #: Fault injections that actually fired (kind -> count; empty when
+    #: the run was clean).
+    fault_injections: dict = field(default_factory=dict)
+    #: Invariant-monitor counters (all zero when checking was off).
+    invariant_epoch_checks: int = 0
+    invariant_sim_checks: int = 0
+    invariant_violations: int = 0
+    max_epoch_length_ns: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -139,9 +149,15 @@ class RunResult:
 # ----------------------------------------------------------------------
 
 
-def _execute(spec: RunSpec, index: int = 0) -> RunOutcome:
+def _execute(
+    spec: RunSpec,
+    index: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
+) -> RunOutcome:
     arch = arch_by_name(spec.arch_name)
     factory = WORKLOADS[spec.workload](spec.config, spec.extras)
+    faults = {"fault_plan": fault_plan, "check_invariants": check_invariants}
     if spec.mode == "conf1":
         calibration = calibrate_arch(arch, seed=spec.calibration_seed)
         sink = _trace_writer
@@ -160,36 +176,57 @@ def _execute(spec: RunSpec, index: int = 0) -> RunOutcome:
             seed=spec.seed,
             calibration=calibration,
             trace_sink=sink,
+            **faults,
         )
         if sink is not None and outcome.quartz_stats is not None:
             sink.write_stats(outcome.quartz_stats)
         return outcome
     if spec.mode == "conf2":
-        return run_conf2(arch, factory, seed=spec.seed)
+        return run_conf2(arch, factory, seed=spec.seed, **faults)
     if spec.mode == "native":
-        return run_native(arch, factory, seed=spec.seed)
+        return run_native(arch, factory, seed=spec.seed, **faults)
     if spec.mode == "chase":
         return run_chase(
-            arch, factory, seed=spec.seed, mem_node=spec.extras.get("mem_node", 0)
+            arch,
+            factory,
+            seed=spec.seed,
+            mem_node=spec.extras.get("mem_node", 0),
+            **faults,
         )
     if spec.mode == "throttled":
         return run_throttled(
-            arch, factory, seed=spec.seed, register=spec.extras.get("register", 0)
+            arch,
+            factory,
+            seed=spec.seed,
+            register=spec.extras.get("register", 0),
+            **faults,
         )
     raise ValidationError(f"unknown run mode: {spec.mode!r}")
 
 
-def _run_one(payload: tuple[int, RunSpec]) -> RunResult:
-    """Worker entry point: execute one spec, package a picklable result."""
-    index, spec = payload
+def _run_one(payload: tuple) -> RunResult:
+    """Worker entry point: execute one spec, package a picklable result.
+
+    The payload is ``(index, spec)`` or ``(index, spec, fault_context)``
+    with ``fault_context = (FaultPlan | None, check_invariants)`` — the
+    explicit third element is how the active fault context crosses into
+    pool workers under both fork and spawn start methods.
+    """
+    index, spec = payload[0], payload[1]
+    fault_plan, check_invariants = (
+        payload[2] if len(payload) > 2 else (None, False)
+    )
     mem0, disk0, meas0, _ = cache_counters.snapshot()
     started = time.perf_counter()
-    outcome = _execute(spec, index)
+    outcome = _execute(
+        spec, index, fault_plan=fault_plan, check_invariants=check_invariants
+    )
     wall = time.perf_counter() - started
     mem1, disk1, meas1, _ = cache_counters.snapshot()
     events = (
         outcome.machine.sim.events_dispatched if outcome.machine is not None else 0
     )
+    invariants = outcome.invariant_report or {}
     return RunResult(
         index=index,
         workload_result=outcome.workload_result,
@@ -200,6 +237,13 @@ def _run_one(payload: tuple[int, RunSpec]) -> RunResult:
         calib_memory_hits=mem1 - mem0,
         calib_disk_hits=disk1 - disk0,
         calib_measurements=meas1 - meas0,
+        fault_injections=dict(
+            (outcome.fault_report or {}).get("injections", {})
+        ),
+        invariant_epoch_checks=invariants.get("epoch_checks", 0),
+        invariant_sim_checks=invariants.get("sim_checks", 0),
+        invariant_violations=invariants.get("violations", 0),
+        max_epoch_length_ns=invariants.get("max_epoch_length_ns", 0.0),
     )
 
 
@@ -322,15 +366,26 @@ class RunnerStats:
     modes: set = field(default_factory=set)
     seeds: set = field(default_factory=set)
     calibration_seeds: set = field(default_factory=set)
+    #: Aggregated fault injections (kind -> count) across all runs.
+    fault_injections: dict = field(default_factory=dict)
+    invariant_epoch_checks: int = 0
+    invariant_sim_checks: int = 0
+    invariant_violations: int = 0
+    max_epoch_length_ns: float = 0.0
 
     @property
     def calib_hits(self) -> int:
         """Calibration requests served from either cache layer."""
         return self.calib_memory_hits + self.calib_disk_hits
 
+    @property
+    def faults_injected(self) -> int:
+        """Total fault injections across every run and kind."""
+        return sum(self.fault_injections.values())
+
     def summary(self) -> str:
         """The CLI summary line."""
-        return (
+        line = (
             f"runner: {self.runs} runs on {self.jobs} job(s), "
             f"{self.events:,} events, "
             f"{self.run_wall_s:.1f}s total run time in {self.wall_s:.1f}s wall; "
@@ -338,6 +393,15 @@ class RunnerStats:
             f"({self.calib_memory_hits} memory / {self.calib_disk_hits} disk), "
             f"{self.calib_measurements} measurements"
         )
+        if self.fault_injections:
+            line += f"; faults: {self.faults_injected} injection(s)"
+        if self.invariant_epoch_checks or self.invariant_sim_checks:
+            line += (
+                f"; invariants: {self.invariant_epoch_checks} epoch + "
+                f"{self.invariant_sim_checks} sim checks, "
+                f"{self.invariant_violations} violation(s)"
+            )
+        return line
 
     def telemetry(self) -> dict:
         """The volatile counters as a JSON-safe dict.
@@ -347,7 +411,7 @@ class RunnerStats:
         between invocations (and between ``--jobs`` values), so they
         live outside the canonical, digest-covered portion.
         """
-        return {
+        payload: dict = {
             "runs": self.runs,
             "jobs": self.jobs,
             "wall_s": self.wall_s,
@@ -360,6 +424,19 @@ class RunnerStats:
                 "measurements": self.calib_measurements,
             },
         }
+        if self.fault_injections:
+            payload["faults"] = {
+                "injections": dict(sorted(self.fault_injections.items())),
+                "total": self.faults_injected,
+            }
+        if self.invariant_epoch_checks or self.invariant_sim_checks:
+            payload["invariants"] = {
+                "epoch_checks": self.invariant_epoch_checks,
+                "sim_checks": self.invariant_sim_checks,
+                "violations": self.invariant_violations,
+                "max_epoch_length_ns": self.max_epoch_length_ns,
+            }
+        return payload
 
 
 _run_stats: Optional[RunnerStats] = None
@@ -405,6 +482,16 @@ def _record_stats(
         stats.calib_memory_hits += result.calib_memory_hits
         stats.calib_disk_hits += result.calib_disk_hits
         stats.calib_measurements += result.calib_measurements
+        for kind, count in result.fault_injections.items():
+            stats.fault_injections[kind] = (
+                stats.fault_injections.get(kind, 0) + count
+            )
+        stats.invariant_epoch_checks += result.invariant_epoch_checks
+        stats.invariant_sim_checks += result.invariant_sim_checks
+        stats.invariant_violations += result.invariant_violations
+        stats.max_epoch_length_ns = max(
+            stats.max_epoch_length_ns, result.max_epoch_length_ns
+        )
 
 
 # ----------------------------------------------------------------------
@@ -426,7 +513,17 @@ def run_specs(
         # Streaming a trace: stay in-process so the JSONL stream is
         # ordered and single-writer (results are identical either way).
         jobs = 1
-    payloads = list(enumerate(specs))
+    context = get_active_faults()
+    if context is not None and context.active:
+        # The fault context rides in every payload so pool workers see it
+        # regardless of start method; per-run seeding keeps any fan-out
+        # byte-identical to the in-process order.
+        fault_context = (context.plan, context.check_invariants)
+        payloads: list[tuple] = [
+            (index, spec, fault_context) for index, spec in enumerate(specs)
+        ]
+    else:
+        payloads = list(enumerate(specs))
     started = time.perf_counter()
     results: Optional[list[RunResult]] = None
     if jobs > 1 and len(payloads) > 1:

@@ -1,0 +1,128 @@
+"""FaultPlan validation, serialization, and the --faults spec grammar."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import FaultPlan
+
+
+def test_default_plan_is_empty():
+    plan = FaultPlan()
+    assert plan.is_empty
+    assert plan.to_dict() == {"seed": 0}
+
+
+def test_seed_alone_is_still_empty():
+    assert FaultPlan(seed=99).is_empty
+
+
+def test_any_injector_makes_plan_non_empty():
+    assert not FaultPlan(timer_jitter_rel=0.01).is_empty
+    assert not FaultPlan(signal_delay_ns=1e6).is_empty
+    assert not FaultPlan(signal_drop_p=0.1).is_empty
+    assert not FaultPlan(monitor_miss_p=0.1).is_empty
+    assert not FaultPlan(counter_stale_p=0.1).is_empty
+    assert not FaultPlan(counter_wrap_bits=32).is_empty
+    assert not FaultPlan(calib_perturb_rel=0.1).is_empty
+
+
+def test_signal_delay_with_zero_probability_is_empty():
+    assert FaultPlan(signal_delay_ns=1e6, signal_delay_p=0.0).is_empty
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"signal_drop_p": 1.5},
+        {"signal_drop_p": -0.1},
+        {"monitor_miss_p": 2.0},
+        {"timer_jitter_rel": 1.0},
+        {"timer_jitter_rel": -0.2},
+        {"timer_drift_rel": -1.0},
+        {"signal_delay_ns": -5.0},
+        {"counter_wrap_bits": 4},
+        {"counter_wrap_bits": 128},
+        {"calib_perturb_rel": 0.5},
+    ],
+)
+def test_invalid_plans_raise(kwargs):
+    with pytest.raises(FaultPlanError):
+        FaultPlan(**kwargs)
+
+
+def test_to_dict_roundtrip():
+    plan = FaultPlan(
+        seed=7,
+        timer_jitter_rel=0.02,
+        signal_delay_ns=2e6,
+        signal_delay_p=0.5,
+        monitor_miss_p=0.25,
+        counter_wrap_bits=32,
+    )
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(FaultPlanError, match="unknown fault-plan fields"):
+        FaultPlan.from_dict({"seed": 1, "bogus": 2})
+
+
+def test_parse_full_spec():
+    plan = FaultPlan.parse(
+        "seed(7); signal-delay(ns=2e6, p=0.5); timer-jitter(rel=0.01, "
+        "drift=0.001); signal-drop(p=0.05); monitor-miss(p=0.1); "
+        "counter-stale(p=0.2); counter-wrap(bits=48); calib-perturb(rel=0.03)"
+    )
+    assert plan.seed == 7
+    assert plan.signal_delay_ns == 2e6
+    assert plan.signal_delay_p == 0.5
+    assert plan.timer_jitter_rel == 0.01
+    assert plan.timer_drift_rel == 0.001
+    assert plan.signal_drop_p == 0.05
+    assert plan.monitor_miss_p == 0.1
+    assert plan.counter_stale_p == 0.2
+    assert plan.counter_wrap_bits == 48
+    assert plan.calib_perturb_rel == 0.03
+
+
+def test_parse_seed_keyword_form():
+    assert FaultPlan.parse("seed(value=3)").seed == 3
+
+
+def test_parse_error_names_unknown_kind_and_lists_supported():
+    with pytest.raises(FaultPlanError) as excinfo:
+        FaultPlan.parse("bogus(x=1)")
+    message = str(excinfo.value)
+    assert "bogus" in message
+    assert "supported kinds" in message
+    assert "signal-delay" in message
+
+
+def test_parse_error_names_unknown_parameter():
+    with pytest.raises(FaultPlanError, match="unknown parameter"):
+        FaultPlan.parse("signal-delay(nanoseconds=5)")
+
+
+def test_parse_error_on_non_numeric_value():
+    with pytest.raises(FaultPlanError, match="is not a number"):
+        FaultPlan.parse("signal-delay(ns=soon)")
+
+
+def test_parse_error_on_empty_spec():
+    with pytest.raises(FaultPlanError, match="empty --faults spec"):
+        FaultPlan.parse("  ;  ")
+
+
+def test_parse_error_on_missing_parameters():
+    with pytest.raises(FaultPlanError, match="needs parameters"):
+        FaultPlan.parse("signal-delay")
+
+
+def test_parse_propagates_validation_errors():
+    with pytest.raises(FaultPlanError, match="invalid --faults spec"):
+        FaultPlan.parse("signal-drop(p=1.5)")
+
+
+def test_parsed_plan_survives_manifest_roundtrip():
+    plan = FaultPlan.parse("seed(5); monitor-miss(p=0.5)")
+    assert FaultPlan.from_dict(plan.to_dict()) == plan

@@ -1,0 +1,104 @@
+"""Hypothesis property tests for the EpochEngine accounting primitives.
+
+The three satellite properties from the fault-injection issue:
+
+* CS + out-of-CS delay shares always sum to the computed (split) delay;
+* the amortisation carry (overhead pool) is never negative;
+* an epoch close never schedules into the past (no negative delay,
+  share, or pool emerges from any input sequence).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quartz.epoch import EpochEngine, ThreadEpochState, amortize_delay
+
+# Finite, non-negative ns quantities at realistic epoch scales.
+ns = st.floats(min_value=0.0, max_value=1e12, allow_nan=False,
+               allow_infinity=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pool=ns, overhead=ns, delay=ns)
+def test_property_amortize_conserves_delay(pool, overhead, delay):
+    injected, amortized, new_pool = amortize_delay(pool, overhead, delay)
+    assert math.isclose(
+        injected + amortized, delay, rel_tol=1e-12, abs_tol=1e-9
+    )
+    assert 0.0 <= injected <= delay
+
+
+@settings(max_examples=200, deadline=None)
+@given(pool=ns, overhead=ns, delay=ns)
+def test_property_amortize_carry_never_negative(pool, overhead, delay):
+    _, _, new_pool = amortize_delay(pool, overhead, delay)
+    assert new_pool >= 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(ns, ns), min_size=1, max_size=50)
+)
+def test_property_amortize_sequences_stay_consistent(epochs):
+    """Folding any (overhead, delay) sequence through the amortiser keeps
+    the pool non-negative and conserves the running totals exactly."""
+    pool = 0.0
+    total_injected = total_amortized = total_overhead = total_delay = 0.0
+    for overhead, delay in epochs:
+        injected, amortized, pool = amortize_delay(pool, overhead, delay)
+        assert pool >= 0.0
+        assert injected >= 0.0
+        assert amortized >= 0.0
+        total_injected += injected
+        total_amortized += amortized
+        total_overhead += overhead
+        total_delay += delay
+    # The running sums themselves accumulate rounding (and their
+    # difference cancels catastrophically at 1e11+ magnitudes), so the
+    # tolerance scales with the summed magnitudes rather than the result.
+    tol = 1e-9 * max(total_overhead, total_delay, 1.0)
+    assert math.isclose(
+        total_injected + total_amortized, total_delay,
+        rel_tol=1e-9, abs_tol=tol,
+    )
+    # Whatever was amortised came out of real overhead; the rest is
+    # still carried in the pool.
+    assert total_amortized <= total_overhead + tol
+    assert abs(pool - (total_overhead - total_amortized)) <= tol
+
+
+@settings(max_examples=200, deadline=None)
+@given(cs_wall=ns, out_wall=ns, delay=ns)
+def test_property_split_shares_sum_to_delay(cs_wall, out_wall, delay):
+    state = ThreadEpochState(
+        start_ns=0.0, counter_base={}, cs_wall_ns=cs_wall, out_wall_ns=out_wall
+    )
+    cs_share, out_share = EpochEngine._split_delay(state, delay)
+    assert cs_share >= 0.0
+    assert out_share >= 0.0  # an epoch close never schedules into the past
+    assert math.isclose(
+        cs_share + out_share, delay, rel_tol=1e-12, abs_tol=1e-9
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(cs_wall=ns, out_wall=ns, delay=ns)
+def test_property_split_is_proportional_to_wall_time(cs_wall, out_wall, delay):
+    total_wall = cs_wall + out_wall
+    state = ThreadEpochState(
+        start_ns=0.0, counter_base={}, cs_wall_ns=cs_wall, out_wall_ns=out_wall
+    )
+    cs_share, _ = EpochEngine._split_delay(state, delay)
+    # Subnormal delays (e.g. 5e-324) round to zero under any multiply, so
+    # the ratio is only meaningful at normal float scales.
+    if total_wall > 0.0 and delay > 1e-300:
+        assert math.isclose(
+            cs_share / delay, cs_wall / total_wall,
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+    elif total_wall <= 0.0:
+        # No attribution data: everything goes to the (conservative)
+        # in-CS share, which is injected before any lock release.
+        assert cs_share == delay
