@@ -121,6 +121,58 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-measure even when a cached calibration exists",
     )
 
+    crash = subparsers.add_parser(
+        "crash-check",
+        help=(
+            "crash-consistency check a recoverable PM workload "
+            "(persistence-domain simulation + recovery validation)"
+        ),
+    )
+    crash.add_argument(
+        "workload",
+        choices=("kvstore", "graph500"),
+        help="recoverable workload to check",
+    )
+    crash.add_argument(
+        "--mutant",
+        choices=("all", "none", "missing-flush", "misordered-barrier"),
+        default="all",
+        help=(
+            "protocol variant(s) to run: the correct protocol ('none'), a "
+            "seeded bug, or the full oracle sweep (default: all)"
+        ),
+    )
+    crash.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help=(
+            "ways to shard crash-image storage across runs (fixed per "
+            "invocation, so results are identical for any --jobs value; "
+            "default: 4)"
+        ),
+    )
+    crash.add_argument("--seed", type=int, default=411, help="run seed")
+    crash.add_argument(
+        "--arch", help="processor family of the simulated testbed"
+    )
+    crash.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes (default: QUARTZ_REPRO_JOBS or all cores)",
+    )
+    crash.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    crash.add_argument(
+        "-o", "--output", "--out",
+        dest="output",
+        help="also write the rendered output (current --format) to a file",
+    )
+
     trace = subparsers.add_parser(
         "trace", help="inspect a JSONL epoch trace (--trace-out output)"
     )
@@ -263,6 +315,75 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _crash_check(args: argparse.Namespace) -> int:
+    """The ``crash-check`` subcommand: run the oracle, gate on its verdict.
+
+    Exit codes: 0 every expectation held; 4 the checker's verdict failed
+    (violations on the correct protocol, or a mutant escaping uncaught).
+    """
+    from repro.hw.arch import IVY_BRIDGE
+    from repro.validation.experiments.crash import (
+        DEFAULT_CRASH_PLAN,
+        MUTANT_AXIS,
+        run_crash_check,
+    )
+
+    info = sys.stderr if args.format == "json" else sys.stdout
+    mutants = MUTANT_AXIS if args.mutant == "all" else (args.mutant,)
+    arch = arch_by_name(args.arch) if args.arch else IVY_BRIDGE
+    reset_run_stats()
+    started = time.time()
+    result = run_crash_check(
+        arch=arch,
+        workload=args.workload,
+        mutants=mutants,
+        shards=args.shards,
+        seed=args.seed,
+        jobs=args.jobs if args.jobs else default_cli_jobs(),
+    )
+    wall_s = time.time() - started
+    stats = consume_run_stats()
+    if args.format == "json":
+        document = export.build_document(
+            result,
+            export.build_manifest(
+                stats=stats,
+                knobs={
+                    "command": "crash-check",
+                    "workload": args.workload,
+                    "mutant": args.mutant,
+                    "shards": args.shards,
+                    "seed": args.seed,
+                    "arch": args.arch,
+                },
+                crash=DEFAULT_CRASH_PLAN.to_dict(),
+            ),
+            telemetry=stats.telemetry() if stats is not None else None,
+        )
+        rendered = export.dumps_document(document)
+    else:
+        rendered = render_table(result) + "\n"
+    sys.stdout.write(rendered)
+    print(f"\n(completed in {wall_s:.1f}s wall time)", file=info)
+    if stats is not None and stats.runs:
+        print(stats.summary(), file=info)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"written to {args.output}", file=info)
+    failed = [row for row in result.rows if not row["ok"]]
+    if failed:
+        for row in failed:
+            print(
+                f"error: crash-check expectation failed for "
+                f"{row['workload']}/{row['mutant']}: expected "
+                f"{row['expected']} violation(s), got {row['violations']}",
+                file=sys.stderr,
+            )
+        return 4
+    return 0
+
+
 def _list_experiments() -> int:
     print("available experiments (see DESIGN.md for the paper mapping):")
     for name in sorted(REGISTRY):
@@ -306,6 +427,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _list_experiments()
     if args.command == "run":
         return _run_experiment(args)
+    if args.command == "crash-check":
+        return _crash_check(args)
     if args.command == "calibrate":
         return _calibrate(args)
     if args.command == "trace":

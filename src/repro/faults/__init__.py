@@ -14,7 +14,7 @@ from repro.faults.context import (
     get_active_faults,
     set_active_faults,
 )
-from repro.faults.engine import DROP_SIGNAL, FaultEngine
+from repro.faults.engine import DROP_SIGNAL, FaultEngine, derive_seed
 from repro.faults.invariants import InvariantMonitor
 from repro.faults.plan import FaultPlan
 
@@ -23,6 +23,7 @@ __all__ = [
     "FaultContext",
     "FaultEngine",
     "FaultPlan",
+    "derive_seed",
     "InvariantMonitor",
     "active_faults",
     "clear_active_faults",

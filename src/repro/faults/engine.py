@@ -39,14 +39,24 @@ if TYPE_CHECKING:
 DROP_SIGNAL = "drop"
 
 
+def derive_seed(plan_seed: int, run_seed: int) -> int:
+    """Mix a plan seed and a per-run seed into one stream seed.
+
+    The foundation of jobs-invariance for every seeded injector — the
+    fault engine and the crash injector both derive their private
+    :class:`RandomStreams` through this exact mix, so any fan-out of runs
+    reproduces the in-process decision sequence.
+    """
+    return (plan_seed * 1_000_003 + run_seed * 7_368_787 + 1) & 0x7FFFFFFF
+
+
 class FaultEngine:
     """Instantiates a :class:`FaultPlan` against one run's objects."""
 
     def __init__(self, plan: FaultPlan, run_seed: int = 0):
         self.plan = plan
         self.run_seed = run_seed
-        derived = (plan.seed * 1_000_003 + run_seed * 7_368_787 + 1) & 0x7FFFFFFF
-        self._streams = RandomStreams(seed=derived)
+        self._streams = RandomStreams(seed=derive_seed(plan.seed, run_seed))
         #: Injection counters by kind (only kinds that fired appear).
         self.injections: dict[str, int] = {}
         self._stale: dict[tuple[int, str], float] = {}

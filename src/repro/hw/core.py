@@ -291,7 +291,16 @@ class Core:
             fraction = elapsed / duration if duration > 0 else 1.0
             done_lines = int(op.lines * fraction)
             remaining = op.lines - done_lines
-            remainder = Flush(op.region, remaining, op.label) if remaining else None
+            remainder = (
+                Flush(
+                    op.region,
+                    remaining,
+                    op.label,
+                    line=None if op.line is None else op.line + done_lines,
+                )
+                if remaining
+                else None
+            )
             self.stats.busy_ns += elapsed
             self.stats.interrupts_taken += 1
             raise OpInterrupted(remainder, intr.payload, elapsed) from None

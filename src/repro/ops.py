@@ -172,10 +172,16 @@ class Flush(Op):
     region: "MemoryRegion"
     lines: int = 1
     label: str = ""
+    #: First cache line flushed (region-relative index); ``None`` means
+    #: the workload does not address specific lines and persistence-state
+    #: observers fall back to oldest-dirty-first attribution.
+    line: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.lines <= 0:
             raise WorkloadError(f"flush line count must be positive: {self.lines}")
+        if self.line is not None and self.line < 0:
+            raise WorkloadError(f"flush line index cannot be negative: {self.line}")
 
 
 @dataclass(frozen=True)
@@ -190,10 +196,14 @@ class FlushOpt(Op):
     region: "MemoryRegion"
     lines: int = 1
     label: str = ""
+    #: See :attr:`Flush.line`.
+    line: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.lines <= 0:
             raise WorkloadError(f"flush line count must be positive: {self.lines}")
+        if self.line is not None and self.line < 0:
+            raise WorkloadError(f"flush line index cannot be negative: {self.line}")
 
 
 @dataclass(frozen=True)

@@ -194,6 +194,13 @@ class SimOS:
                 if hook is not None:
                     result = yield from self._run_hook_ops(thread, hook, op)
                     return result
+        # Past the interposition check every op is about to actually run,
+        # so a dispatch observer sees each executed op exactly once:
+        # hook-intercepted ops re-enter here with ``interpose=False`` for
+        # the ORIGINAL / replacement ops their hooks emit.
+        observer = self.interpose.dispatch_observer
+        if observer is not None:
+            observer(thread, op)
         if isinstance(op, MutexLock):
             yield from op.mutex._acquire(thread)
             return None

@@ -168,13 +168,16 @@ class ThreadContext:
             return
         self.os.machine.free(region)
 
-    def pflush(self, region: MemoryRegion, lines: int = 1):
+    def pflush(self, region: MemoryRegion, lines: int = 1, line: Optional[int] = None):
         """Flush lines to persistent memory (use as ``yield from``).
 
         Interposed by Quartz to append the configured NVM write delay
-        after the hardware ``clflush`` (Section 3.1).
+        after the hardware ``clflush`` (Section 3.1).  ``line`` names the
+        first region-relative cache line flushed, which lets persistence
+        observers attribute the writeback to exact lines instead of
+        oldest-dirty-first.
         """
-        op = Flush(region, lines=lines, label="pflush")
+        op = Flush(region, lines=lines, label="pflush", line=line)
         hook = self.os.interpose.op_hook("pflush")
         if hook is None:
             result = yield op

@@ -135,6 +135,11 @@ class Quartz:
                 self.os.interpose.register_op_hook(
                     "pcommit", self.write_emulator.pcommit_hook
                 )
+            # Posted-flush deadlines must not outlive their thread: a
+            # reused tid would inherit them (see PmWriteEmulator).
+            self.os.thread_finished_callbacks.append(
+                self.write_emulator.discard_thread
+            )
 
         self.os.interpose.register_op_hook("thread_begin", self._thread_begin_hook)
         self.os.interpose.register_op_hook("thread_end", self._thread_end_hook)
@@ -171,6 +176,13 @@ class Quartz:
             raise QuartzError("Quartz is not attached")
         self._attached = False
         self.os.interpose.unregister_all()
+        if self.write_emulator is not None:
+            try:
+                self.os.thread_finished_callbacks.remove(
+                    self.write_emulator.discard_thread
+                )
+            except ValueError:
+                pass
         self.os.signal_handlers.pop(self.config.epoch_signal, None)
         if self._throttler is not None:
             self._throttler.reset()
@@ -185,6 +197,16 @@ class Quartz:
     def registered_thread_count(self) -> int:
         """Application threads currently under emulation."""
         return len(self._registered)
+
+    @property
+    def epoch_engine(self) -> Optional[EpochEngine]:
+        """The live epoch engine (None before attach).
+
+        Public so observers — the epoch trace, the invariant monitor, the
+        crash injector — can subscribe to ``close_observers`` without
+        reaching into privates.
+        """
+        return self._engine
 
     # ------------------------------------------------------------------
     # Interposition hooks (generators of ops)

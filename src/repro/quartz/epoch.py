@@ -27,7 +27,7 @@ spins while the lock is held, the outside share while it is not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import QuartzError
@@ -109,6 +109,10 @@ class EpochCloseInfo:
     split_delay_ns: Optional[float] = None
     cs_share_ns: Optional[float] = None
     out_share_ns: Optional[float] = None
+    #: 1-based position of this close in the engine's notification order.
+    #: Two closes can share a float timestamp; the sequence number gives
+    #: observers (trace, crash injector) a total, deterministic identity.
+    close_seq: int = 0
 
 
 @dataclass
@@ -164,6 +168,8 @@ class EpochEngine:
         #: fault layer's InvariantMonitor attaches here; observers may
         #: raise to abort the run.
         self.close_observers: list = []
+        #: Total closes notified so far (stamps ``close_seq``).
+        self.closes_notified = 0
         if config.mode is EmulationMode.TWO_MEMORY:
             machine.arch.require_local_remote_counters()
 
@@ -399,6 +405,10 @@ class EpochEngine:
         return injected_ns, amortized_ns, overhead_ns, pool_before
 
     def _notify_close(self, info: EpochCloseInfo) -> None:
+        self.closes_notified += 1
+        if not self.close_observers:
+            return
+        info = replace(info, close_seq=self.closes_notified)
         for observer in self.close_observers:
             observer(info)
 

@@ -16,7 +16,7 @@ in parallel.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.errors import QuartzError
 from repro.hw.machine import Machine
@@ -48,6 +48,13 @@ class PmWriteEmulator:
         self._pending_deadlines: dict[int, list[float]] = defaultdict(list)
         self.flushes_emulated = 0
         self.commits_emulated = 0
+        #: Optional ``observer(event, thread, op, deadline_ns)`` notified
+        #: once per hook invocation (``event`` is ``"pflush"`` or
+        #: ``"pcommit"``; the deadline is the posted completion time under
+        #: the PCOMMIT model, else ``None``).  The persistence-domain
+        #: model uses this to see write-emulation metadata the op stream
+        #: alone cannot carry.  Zero-overhead when unset.
+        self.observer: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Hooks
@@ -58,17 +65,23 @@ class PmWriteEmulator:
             result = yield ORIGINAL  # hardware clflush, stall-waited
             extra = self._extra_write_delay_ns(thread, op) * op.lines
             self.flushes_emulated += op.lines
+            if self.observer is not None:
+                self.observer("pflush", thread, op, None)
             if extra > 0:
                 yield Spin(extra, label="quartz-pflush-delay")
             return result
         # PCOMMIT model: post the writeback instead of stalling, and
         # remember when it would complete on real NVM.
-        result = yield FlushOpt(op.region, op.lines, label="quartz-flushopt")
+        result = yield FlushOpt(
+            op.region, op.lines, label="quartz-flushopt", line=op.line
+        )
         deadline = (
             self.machine.sim.now + self.config.nvm_write_latency_ns
         )
         self._pending_deadlines[thread.tid].append(deadline)
         self.flushes_emulated += op.lines
+        if self.observer is not None:
+            self.observer("pflush", thread, op, deadline)
         return result
 
     def pcommit_hook(self, os: "SimOS", thread: "SimThread", op):
@@ -76,6 +89,8 @@ class PmWriteEmulator:
         result = yield ORIGINAL  # hardware drain of posted flushes
         deadlines = self._pending_deadlines.pop(thread.tid, [])
         self.commits_emulated += 1
+        if self.observer is not None:
+            self.observer("pcommit", thread, op, None)
         if deadlines:
             # Only the portion of emulated write time not already covered
             # by program progress is injected (Section 6's discounting).
@@ -85,8 +100,22 @@ class PmWriteEmulator:
         return result
 
     def pending_flush_count(self, thread: "SimThread") -> int:
-        """Posted-but-uncommitted flushes of one thread (test hook)."""
+        """Posted-but-uncommitted flushes of one thread."""
         return len(self._pending_deadlines.get(thread.tid, ()))
+
+    def total_pending_flushes(self) -> int:
+        """Posted-but-uncommitted flushes across every live thread."""
+        return sum(len(deadlines) for deadlines in self._pending_deadlines.values())
+
+    def discard_thread(self, thread: "SimThread") -> None:
+        """Drop a finished thread's posted-flush deadlines.
+
+        Registered on the OS thread-exit callback when Quartz attaches:
+        without it a reused tid would inherit a dead thread's pending
+        writes and its first pcommit would stall on deadlines it never
+        posted.
+        """
+        self._pending_deadlines.pop(thread.tid, None)
 
     # ------------------------------------------------------------------
     def _extra_write_delay_ns(self, thread: "SimThread", op: Flush) -> float:

@@ -31,6 +31,7 @@ from repro.quartz.stats import QuartzStats
 from repro.sim import Simulator
 
 if TYPE_CHECKING:
+    from repro.pmem.crash import CrashPlan
     from repro.quartz.trace import JsonlTraceWriter
 
 
@@ -46,6 +47,9 @@ class RunOutcome:
     fault_report: Optional[dict] = None
     #: :meth:`InvariantMonitor.report` when ``check_invariants`` was set.
     invariant_report: Optional[dict] = None
+    #: :meth:`~repro.pmem.checker.CrashCheckReport.to_dict` of a
+    #: crash-checked run (None otherwise).
+    crash_report: Optional[dict] = None
 
 
 def _fault_setup(
@@ -135,6 +139,64 @@ def run_conf1(
 
         attach_trace(quartz, sink=trace_sink)
     outcome = _drive(os, body_factory)
+    outcome.quartz_stats = quartz.stats
+    return _fault_finish(outcome, engine, monitor)
+
+
+def run_crash(
+    arch: ArchSpec,
+    workload_id: str,
+    workload_config: Any,
+    quartz_config: QuartzConfig,
+    crash_plan: "CrashPlan",
+    seed: int = 0,
+    calibration: Optional[CalibrationData] = None,
+    shard: int = 0,
+    shards: int = 1,
+    mutant: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
+) -> RunOutcome:
+    """Conf_1 with the crash-consistency checker attached.
+
+    Builds the same machine as :func:`run_conf1` (local memory, Quartz
+    emulating the target), then drives a *recoverable* workload via
+    :func:`repro.pmem.check_workload`: a persistence domain shadows every
+    pmalloc'd line, a :class:`~repro.pmem.crash.CrashInjector` enumerates
+    crash points, and recovery is replayed against each stored image.
+    ``shard``/``shards`` split snapshot *storage* (never enumeration)
+    for the parallel runner; the result lands in ``crash_report``.
+    """
+    from repro.pmem import check_workload
+
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch, latency_jitter=True)
+    os = SimOS(machine, default_cpu_node=0)
+    engine, monitor = _fault_setup(machine, os, seed, fault_plan, check_invariants)
+    calibration = calibration or calibrate_arch(arch)
+    if engine is not None:
+        calibration = engine.perturb_calibration(calibration)
+    quartz = Quartz(os, quartz_config, calibration=calibration)
+    quartz.attach()
+    if monitor is not None:
+        monitor.attach_quartz(quartz)
+    report, result, elapsed = check_workload(
+        os,
+        quartz,
+        workload_id,
+        workload_config,
+        crash_plan,
+        run_seed=seed,
+        shard=shard,
+        shards=shards,
+        mutant=mutant,
+    )
+    outcome = RunOutcome(
+        workload_result=result,
+        elapsed_ns=elapsed,
+        machine=machine,
+        crash_report=report.to_dict(),
+    )
     outcome.quartz_stats = quartz.stats
     return _fault_finish(outcome, engine, monitor)
 

@@ -36,6 +36,7 @@ from repro.validation.experiments.extensions import (
     run_parallel_pagerank,
     run_technology_comparison,
 )
+from repro.validation.experiments.crash import run_crash_check
 
 #: CLI name -> experiment driver.
 REGISTRY = {
@@ -61,6 +62,7 @@ REGISTRY = {
     "loaded-latency-study": run_loaded_latency_study,
     "technology-comparison": run_technology_comparison,
     "kv-write-models": run_kv_write_models,
+    "crash-check": run_crash_check,
 }
 
 __all__ = ["REGISTRY"] + sorted(

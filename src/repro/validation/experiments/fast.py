@@ -131,6 +131,14 @@ FAST_KWARGS: dict[str, Callable[[], dict]] = {
             puts_per_thread=5_000, gets_per_thread=1, flush_writes=True
         )
     },
+    "crash-check": lambda: {
+        "workload": "kvstore",
+        "shards": 2,
+        "config": KvStoreConfig(
+            puts_per_thread=8, gets_per_thread=0, threads=2, batch_ops=4,
+            seed=3,
+        ),
+    },
 }
 
 

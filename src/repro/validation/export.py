@@ -88,6 +88,10 @@ class RunManifest:
     #: invocation (None for clean runs).  Digest-covered, so a faulted
     #: export can never pass for a clean one.
     faults: Optional[dict] = None
+    #: The :meth:`~repro.pmem.crash.CrashPlan.to_dict` of a crash-checked
+    #: invocation (None otherwise).  Digest-covered for the same reason:
+    #: the crash-point plan is part of what the results mean.
+    crash: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -102,6 +106,7 @@ class RunManifest:
             "calibration_schema": self.calibration_schema,
             "knobs": dict(self.knobs),
             "faults": dict(self.faults) if self.faults is not None else None,
+            "crash": dict(self.crash) if self.crash is not None else None,
         }
 
     @classmethod
@@ -125,6 +130,11 @@ class RunManifest:
                     if payload.get("faults") is not None
                     else None
                 ),
+                crash=(
+                    dict(payload["crash"])
+                    if payload.get("crash") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ValidationError(f"malformed manifest payload: {error}")
@@ -134,13 +144,16 @@ def build_manifest(
     stats: Optional[RunnerStats] = None,
     knobs: Optional[dict] = None,
     faults: Optional[dict] = None,
+    crash: Optional[dict] = None,
 ) -> RunManifest:
     """Assemble a manifest from a driver invocation's runner stats.
 
     ``stats`` is the :func:`~repro.validation.runner.consume_run_stats`
     aggregate (its provenance sets are deterministic for any job count);
     ``knobs`` records the invocation's configuration flags; ``faults``
-    is the active :meth:`~repro.faults.plan.FaultPlan.to_dict` (if any).
+    is the active :meth:`~repro.faults.plan.FaultPlan.to_dict` (if any);
+    ``crash`` the :meth:`~repro.pmem.crash.CrashPlan.to_dict` of a
+    crash-checked invocation.
     """
     archs: dict = {}
     workloads: tuple = ()
@@ -167,6 +180,7 @@ def build_manifest(
         calibration_seeds=calibration_seeds,
         knobs=dict(knobs or {}),
         faults=dict(faults) if faults is not None else None,
+        crash=dict(crash) if crash is not None else None,
     )
 
 
@@ -251,15 +265,18 @@ def write_experiment_json(
     knobs: Optional[dict] = None,
     manifest: Optional[RunManifest] = None,
     faults: Optional[dict] = None,
+    crash: Optional[dict] = None,
 ) -> dict:
     """Serialize one experiment to *path*; returns the written document.
 
     The manifest defaults to :func:`build_manifest` over ``stats``,
-    ``knobs``, and ``faults``; telemetry is taken from ``stats`` when
-    present.
+    ``knobs``, ``faults``, and ``crash``; telemetry is taken from
+    ``stats`` when present.
     """
     if manifest is None:
-        manifest = build_manifest(stats=stats, knobs=knobs, faults=faults)
+        manifest = build_manifest(
+            stats=stats, knobs=knobs, faults=faults, crash=crash
+        )
     telemetry = stats.telemetry() if stats is not None else None
     document = build_document(result, manifest, telemetry=telemetry)
     Path(path).write_text(dumps_document(document), encoding="utf-8")

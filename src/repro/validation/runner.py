@@ -43,6 +43,7 @@ from repro.validation.configs import (
     run_chase,
     run_conf1,
     run_conf2,
+    run_crash,
     run_native,
     run_throttled,
 )
@@ -83,7 +84,10 @@ WORKLOADS: dict[str, Callable[[Any, dict], Callable]] = {
 }
 
 #: Mode -> testbed configuration (see ``repro.validation.configs``).
-MODES = ("conf1", "conf2", "native", "chase", "throttled")
+#: ``crash`` is Conf_1 plus the crash-consistency checker
+#: (``repro.pmem``); its extras carry ``crash_plan`` (required) and
+#: optionally ``shard``/``shards``/``mutant``.
+MODES = ("conf1", "conf2", "native", "chase", "throttled", "crash")
 
 
 @dataclass(frozen=True)
@@ -112,8 +116,10 @@ class RunSpec:
             raise ValidationError(f"unknown workload id: {self.workload!r}")
         if self.mode not in MODES:
             raise ValidationError(f"unknown run mode: {self.mode!r}")
-        if self.mode == "conf1" and self.quartz is None:
-            raise ValidationError("conf1 runs need a QuartzConfig")
+        if self.mode in ("conf1", "crash") and self.quartz is None:
+            raise ValidationError(f"{self.mode} runs need a QuartzConfig")
+        if self.mode == "crash" and "crash_plan" not in self.extras:
+            raise ValidationError("crash runs need a CrashPlan in extras")
 
 
 @dataclass
@@ -142,6 +148,8 @@ class RunResult:
     invariant_sim_checks: int = 0
     invariant_violations: int = 0
     max_epoch_length_ns: float = 0.0
+    #: Crash-check report dict of a ``crash``-mode run (None otherwise).
+    crash_report: Optional[dict] = None
 
 
 # ----------------------------------------------------------------------
@@ -158,6 +166,20 @@ def _execute(
     arch = arch_by_name(spec.arch_name)
     factory = WORKLOADS[spec.workload](spec.config, spec.extras)
     faults = {"fault_plan": fault_plan, "check_invariants": check_invariants}
+    if spec.mode == "crash":
+        return run_crash(
+            arch,
+            spec.workload,
+            spec.config,
+            spec.quartz,
+            spec.extras["crash_plan"],
+            seed=spec.seed,
+            calibration=calibrate_arch(arch, seed=spec.calibration_seed),
+            shard=spec.extras.get("shard", 0),
+            shards=spec.extras.get("shards", 1),
+            mutant=spec.extras.get("mutant"),
+            **faults,
+        )
     if spec.mode == "conf1":
         calibration = calibrate_arch(arch, seed=spec.calibration_seed)
         sink = _trace_writer
@@ -244,6 +266,7 @@ def _run_one(payload: tuple) -> RunResult:
         invariant_sim_checks=invariants.get("sim_checks", 0),
         invariant_violations=invariants.get("violations", 0),
         max_epoch_length_ns=invariants.get("max_epoch_length_ns", 0.0),
+        crash_report=outcome.crash_report,
     )
 
 
@@ -276,7 +299,7 @@ def _prewarm_calibrations(specs: Sequence[RunSpec]) -> None:
     needed = {
         (spec.arch_name, spec.calibration_seed)
         for spec in specs
-        if spec.mode == "conf1"
+        if spec.mode in ("conf1", "crash")
     }
     for arch_name, calibration_seed in sorted(needed):
         calibrate_arch(arch_by_name(arch_name), seed=calibration_seed)
@@ -372,6 +395,12 @@ class RunnerStats:
     invariant_sim_checks: int = 0
     invariant_violations: int = 0
     max_epoch_length_ns: float = 0.0
+    #: Crash-checker aggregates (``crash``-mode runs only).  Points are
+    #: summed over runs: every shard of a sharded run enumerates the full
+    #: point sequence, so this counts enumeration work, not unique points.
+    crash_points: int = 0
+    crash_images_checked: int = 0
+    crash_violations: int = 0
 
     @property
     def calib_hits(self) -> int:
@@ -400,6 +429,11 @@ class RunnerStats:
                 f"; invariants: {self.invariant_epoch_checks} epoch + "
                 f"{self.invariant_sim_checks} sim checks, "
                 f"{self.invariant_violations} violation(s)"
+            )
+        if self.crash_images_checked:
+            line += (
+                f"; crash: {self.crash_images_checked} image(s) checked, "
+                f"{self.crash_violations} violation(s)"
             )
         return line
 
@@ -435,6 +469,12 @@ class RunnerStats:
                 "sim_checks": self.invariant_sim_checks,
                 "violations": self.invariant_violations,
                 "max_epoch_length_ns": self.max_epoch_length_ns,
+            }
+        if self.crash_images_checked:
+            payload["crash"] = {
+                "points": self.crash_points,
+                "images_checked": self.crash_images_checked,
+                "violations": self.crash_violations,
             }
         return payload
 
@@ -492,6 +532,12 @@ def _record_stats(
         stats.max_epoch_length_ns = max(
             stats.max_epoch_length_ns, result.max_epoch_length_ns
         )
+        if result.crash_report is not None:
+            stats.crash_points += result.crash_report.get("points", 0)
+            stats.crash_images_checked += result.crash_report.get("checked", 0)
+            stats.crash_violations += result.crash_report.get(
+                "violation_total", 0
+            )
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.hw.topology import PageSize
-from repro.ops import MemBatch, PatternKind
+from repro.ops import Commit, MemBatch, PatternKind
+from repro.units import CACHE_LINE_BYTES, MIB
 from repro.workloads.graphs import (
     CsrGraph,
     synthetic_power_law,
@@ -197,3 +198,238 @@ def graph500_body(
         return out["result"]
 
     return body
+
+
+# ----------------------------------------------------------------------
+# Crash-checkable variant (repro.pmem)
+# ----------------------------------------------------------------------
+
+PMBFS_LABEL = "pmbfs"
+
+
+def _bfs_arena_bytes(vertex_count: int) -> int:
+    return max(MIB, (vertex_count + 1) * CACHE_LINE_BYTES)
+
+
+def _bfs_parent_levels(
+    graph: CsrGraph, root: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic replay of the BFS the recoverable body runs.
+
+    Shared by recovery so it can recompute, from the graph alone, exactly
+    which ``(vertex, parent, level)`` records the persisted header claims
+    durable.  Must stay in lockstep with the body's use of
+    :func:`_expand_frontier`.
+    """
+    parents = np.full(graph.vertex_count, -1, dtype=np.int64)
+    levels = np.full(graph.vertex_count, -1, dtype=np.int64)
+    parents[root] = root
+    levels[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        frontier, _ = _expand_frontier(graph, frontier, parents)
+        level += 1
+        levels[frontier] = level
+    return parents, levels
+
+
+def _contiguous_runs(vertices: list):
+    """Yield ``(start, length)`` for maximal runs of consecutive ints.
+
+    Input must be sorted ascending (``_expand_frontier`` returns the
+    frontier via ``np.unique``, so level output already is).
+    """
+    start = prev = None
+    for vertex in vertices:
+        if start is None:
+            start = prev = vertex
+        elif vertex == prev + 1:
+            prev = vertex
+        else:
+            yield start, prev - start + 1
+            start = prev = vertex
+    if start is not None:
+        yield start, prev - start + 1
+
+
+def recoverable_graph500_body(
+    config: Graph500Config,
+    out: dict,
+    domain,
+    mutant: Optional[str] = None,
+    graph: Optional[CsrGraph] = None,
+):
+    """Crash-checkable BFS: a durable, header-indexed parent tree.
+
+    Line 0 holds ``("levels", L, root)`` — the claim that every vertex of
+    BFS level <= L has a durable ``("parent", v, parent, level)`` record
+    at line ``1 + v``.  Correct protocol per level: persist the fresh
+    parent records, then the header.  ``missing-flush`` never flushes
+    parent records; ``misordered-barrier`` persists them only after the
+    header already claimed them.
+    """
+
+    def body(ctx):
+        nonlocal graph
+        if graph is None:
+            graph = default_graph(config)
+        n = graph.vertex_count
+        arena = ctx.pmalloc(
+            _bfs_arena_bytes(n), page_size=PageSize.HUGE_2M, label=PMBFS_LABEL
+        )
+        # Mirrors graph500_body's root sampling (first root).
+        root = random.Random(config.seed).randrange(n)
+        parents = np.full(n, -1, dtype=np.int64)
+        parents[root] = root
+
+        def flush_level(vertices):
+            for run_start, run_length in _contiguous_runs(vertices):
+                yield from ctx.pflush(
+                    arena, lines=run_length, line=1 + run_start
+                )
+            yield Commit()
+
+        frontier = np.array([root], dtype=np.int64)
+        fresh = [root]
+        domain.record(arena, 1 + root, ("parent", root, root, 0))
+        level = 0
+        traversed = 0
+        while True:
+            # Persist this level's parent records...
+            yield MemBatch(
+                arena,
+                accesses=len(fresh),
+                pattern=PatternKind.RANDOM,
+                footprint_bytes=max(
+                    CACHE_LINE_BYTES, n * config.bytes_per_vertex
+                ),
+                is_store=True,
+                label="pmbfs-parent-write",
+            )
+            if mutant is None:
+                yield from flush_level(fresh)
+            # ...then the header that makes them reachable.
+            domain.record(arena, 0, ("levels", level, root))
+            yield MemBatch(
+                arena,
+                accesses=1,
+                pattern=PatternKind.RANDOM,
+                footprint_bytes=CACHE_LINE_BYTES,
+                is_store=True,
+                label="pmbfs-header-write",
+            )
+            yield from ctx.pflush(arena, lines=1, line=0)
+            yield Commit()
+            if mutant == "misordered-barrier":
+                yield from flush_level(fresh)
+            next_frontier, inspected = _expand_frontier(
+                graph, frontier, parents
+            )
+            traversed += inspected
+            if inspected:
+                yield MemBatch(
+                    arena,
+                    accesses=inspected,
+                    pattern=PatternKind.RANDOM,
+                    footprint_bytes=max(
+                        CACHE_LINE_BYTES, n * config.bytes_per_vertex
+                    ),
+                    parallelism=config.probe_parallelism,
+                    label="pmbfs-visited-probe",
+                )
+            if next_frontier.size == 0:
+                break
+            level += 1
+            fresh = [int(vertex) for vertex in next_frontier]
+            for vertex in fresh:
+                domain.record(
+                    arena,
+                    1 + vertex,
+                    ("parent", vertex, int(parents[vertex]), level),
+                )
+            frontier = next_frontier
+        out["result"] = {
+            "root": root,
+            "levels": level,
+            "reached": int((parents >= 0).sum()),
+            "traversed_edges": traversed,
+            "mutant": mutant,
+        }
+        return out["result"]
+
+    return body
+
+
+class RecoverableGraph500:
+    """Crash-checkable BFS (see :mod:`repro.pmem.checker`)."""
+
+    workload_id = "graph500"
+
+    def __init__(self, config: Graph500Config, mutant: Optional[str] = None):
+        self.config = config
+        self.mutant = mutant
+        self._graph: Optional[CsrGraph] = None
+        self._replay_cache: dict = {}
+
+    def invariants(self) -> tuple:
+        return ("reached-prefix-durable", "parent-edge-exists")
+
+    def body_factory(self, domain, out: dict):
+        return recoverable_graph500_body(
+            self.config, out, domain, self.mutant
+        )
+
+    def _replay(self, root: int):
+        if self._graph is None:
+            self._graph = default_graph(self.config)
+        if root not in self._replay_cache:
+            self._replay_cache[root] = _bfs_parent_levels(self._graph, root)
+        return self._graph, self._replay_cache
+
+    def recover(self, image) -> list:
+        """Restart-time check: the durable tree matches the header claim."""
+        issues: list = []
+        lines = image.lines(PMBFS_LABEL)
+        header = lines.get(0)
+        if header is None:
+            return issues  # nothing committed: trivially consistent
+        _, claimed_level, root = header
+        graph, cache = self._replay(root)
+        parents, levels = cache[root]
+        for vertex in range(graph.vertex_count):
+            level = int(levels[vertex])
+            if level < 0 or level > claimed_level:
+                continue
+            expected = ("parent", vertex, int(parents[vertex]), level)
+            got = lines.get(1 + vertex)
+            if got != expected:
+                issues.append(
+                    {
+                        "invariant": "reached-prefix-durable",
+                        "detail": (
+                            f"header claims level {claimed_level} but "
+                            f"vertex {vertex} (level {level}) holds "
+                            f"{got!r}, expected {expected!r}"
+                        ),
+                    }
+                )
+        # Graph500-style structural validation of whatever *is* durable.
+        for line, payload in lines.items():
+            if line == 0:
+                continue
+            _, vertex, parent, level = payload
+            if vertex == parent:
+                continue
+            if vertex not in graph.neighbors(parent):
+                issues.append(
+                    {
+                        "invariant": "parent-edge-exists",
+                        "detail": (
+                            f"durable record claims parent {parent} for "
+                            f"vertex {vertex} but the graph has no such "
+                            f"edge"
+                        ),
+                    }
+                )
+        return issues

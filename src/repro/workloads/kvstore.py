@@ -15,12 +15,14 @@ load (puts, timed), then all threads query (gets, timed).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import WorkloadError
 from repro.hw.topology import PageSize
 from repro.ops import Commit, JoinThread, MemBatch, PatternKind, SpawnThread
-from repro.units import MIB
+from repro.units import CACHE_LINE_BYTES, MIB
 from repro.workloads.btree import BPlusTree
 
 
@@ -237,3 +239,170 @@ def kvstore_main_body(config: KvStoreConfig, out: dict):
         return out["result"]
 
     return body
+
+
+# ----------------------------------------------------------------------
+# Crash-checkable variant (repro.pmem)
+# ----------------------------------------------------------------------
+
+
+def committed_key_sequence(config: KvStoreConfig, thread_index: int) -> list:
+    """The deterministic insertion order of one put worker.
+
+    Shared by the workload body and :meth:`RecoverableKvStore.recover`
+    so recovery can recompute exactly which keys the persisted header
+    claims committed — a plain seeded shuffle, independent of thread
+    names and simulator streams.
+    """
+    keys = list(
+        range(
+            thread_index,
+            thread_index + config.threads * config.puts_per_thread,
+            config.threads,
+        )
+    )
+    random.Random(config.seed * 1_000_003 + thread_index).shuffle(keys)
+    return keys
+
+
+def _kv_arena_label(thread_index: int) -> str:
+    return f"pmkv-{thread_index}"
+
+
+def _kv_value_payload(key: int, thread_index: int) -> tuple:
+    return ("val", key, key * 31 + thread_index)
+
+
+def _pm_arena_bytes(config: KvStoreConfig) -> int:
+    return max(MIB, (1 + config.puts_per_thread) * CACHE_LINE_BYTES)
+
+
+def _recoverable_put_worker(ctx, config, domain, mutant, thread_index):
+    """Header-indexed durable log: line 0 counts committed puts, line
+    ``1+i`` holds the i-th value.
+
+    Correct protocol per batch: persist the values, *then* persist the
+    header that makes them reachable.  The mutants break exactly that:
+    ``missing-flush`` never flushes values, ``misordered-barrier``
+    commits the header before them.
+    """
+    arena = ctx.pmalloc(
+        _pm_arena_bytes(config),
+        page_size=PageSize.HUGE_2M,
+        label=_kv_arena_label(thread_index),
+    )
+    keys = committed_key_sequence(config, thread_index)
+    done = 0
+    while done < len(keys):
+        batch = keys[done : done + config.batch_ops]
+        first_line = 1 + done
+        for offset, key in enumerate(batch):
+            domain.record(
+                arena, first_line + offset, _kv_value_payload(key, thread_index)
+            )
+        yield MemBatch(
+            arena,
+            accesses=len(batch),
+            pattern=PatternKind.RANDOM,
+            footprint_bytes=max(
+                CACHE_LINE_BYTES,
+                min(len(keys) * config.value_bytes, arena.size_bytes),
+            ),
+            is_store=True,
+            label="pmkv-value-write",
+        )
+        if mutant is None:
+            yield from ctx.pflush(arena, lines=len(batch), line=first_line)
+            yield Commit()
+        done += len(batch)
+        domain.record(arena, 0, ("count", done))
+        yield MemBatch(
+            arena,
+            accesses=1,
+            pattern=PatternKind.RANDOM,
+            footprint_bytes=CACHE_LINE_BYTES,
+            is_store=True,
+            label="pmkv-header-write",
+        )
+        yield from ctx.pflush(arena, lines=1, line=0)
+        yield Commit()
+        if mutant == "misordered-barrier":
+            # The broken ordering: data persists only *after* the header
+            # already claimed it — a crash in between loses committed keys.
+            yield from ctx.pflush(arena, lines=len(batch), line=first_line)
+            yield Commit()
+    return done
+
+
+def recoverable_kvstore_body(
+    config: KvStoreConfig, out: dict, domain, mutant: Optional[str] = None
+):
+    """Body factory for the crash-checkable put phase."""
+
+    def body(ctx):
+        workers = []
+        for index in range(config.threads):
+            workers.append(
+                (
+                    yield SpawnThread(
+                        _recoverable_put_worker,
+                        name=f"pmkv-put{index}",
+                        args=(config, domain, mutant, index),
+                    )
+                )
+            )
+        total = 0
+        for worker in workers:
+            total += yield JoinThread(worker)
+        out["result"] = {
+            "committed_puts": total,
+            "threads": config.threads,
+            "mutant": mutant,
+        }
+        return out["result"]
+
+    return body
+
+
+class RecoverableKvStore:
+    """Crash-checkable KV store (see :mod:`repro.pmem.checker`)."""
+
+    workload_id = "kvstore"
+
+    def __init__(self, config: KvStoreConfig, mutant: Optional[str] = None):
+        self.config = config
+        self.mutant = mutant
+
+    def invariants(self) -> tuple:
+        return ("committed-prefix-durable",)
+
+    def body_factory(self, domain, out: dict):
+        return recoverable_kvstore_body(self.config, out, domain, self.mutant)
+
+    def recover(self, image) -> list:
+        """Restart-time check: every key the header commits is durable."""
+        issues = []
+        for thread_index in range(self.config.threads):
+            lines = image.lines(_kv_arena_label(thread_index))
+            header = lines.get(0)
+            if header is None:
+                continue  # nothing committed: trivially consistent
+            committed = header[1]
+            keys = committed_key_sequence(self.config, thread_index)
+            for position in range(committed):
+                expected = _kv_value_payload(keys[position], thread_index)
+                got = lines.get(1 + position)
+                if got != expected:
+                    issues.append(
+                        {
+                            "invariant": "committed-prefix-durable",
+                            "detail": (
+                                f"thread {thread_index}: header commits "
+                                f"{committed} put(s) but key "
+                                f"{keys[position]} (line {1 + position}) "
+                                f"holds {got!r}"
+                            ),
+                        }
+                    )
+        return issues
+

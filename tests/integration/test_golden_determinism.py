@@ -14,7 +14,8 @@ To regenerate after an *intentional* behaviour change::
     from repro.validation.runner import reset_run_stats
     from repro.validation import export
     digests = {}
-    for eid in ("figure12", "epoch-size-study", "figure16-latency"):
+    for eid in ("figure12", "epoch-size-study", "figure16-latency",
+                "crash-check"):
         reset_run_stats()
         result = run_fast(eid, jobs=1)
         digests[eid] = export.experiment_digest(

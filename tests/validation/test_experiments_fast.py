@@ -44,6 +44,8 @@ def test_registry_covers_every_paper_artefact():
         # Section 7 / Section 6 extensions.
         "parallel-pagerank", "asymmetric-bandwidth", "loaded-latency-study",
         "technology-comparison", "kv-write-models",
+        # Crash-consistency checking (repro.pmem).
+        "crash-check",
     }
     assert set(REGISTRY) == expected
 
