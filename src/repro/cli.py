@@ -259,7 +259,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
     if fault_plan is not None or args.check_invariants:
         set_active_faults(fault_plan, args.check_invariants)
     reset_run_stats()
-    started = time.time()
+    started = time.perf_counter()
     try:
         try:
             result = driver(**kwargs)
@@ -275,7 +275,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
-    wall_s = time.time() - started
+    wall_s = time.perf_counter() - started
     stats = consume_run_stats()
     if args.format == "json":
         document = export.build_document(
@@ -332,7 +332,7 @@ def _crash_check(args: argparse.Namespace) -> int:
     mutants = MUTANT_AXIS if args.mutant == "all" else (args.mutant,)
     arch = arch_by_name(args.arch) if args.arch else IVY_BRIDGE
     reset_run_stats()
-    started = time.time()
+    started = time.perf_counter()
     result = run_crash_check(
         arch=arch,
         workload=args.workload,
@@ -341,7 +341,7 @@ def _crash_check(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs if args.jobs else default_cli_jobs(),
     )
-    wall_s = time.time() - started
+    wall_s = time.perf_counter() - started
     stats = consume_run_stats()
     if args.format == "json":
         document = export.build_document(

@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Iterator, Optional
 
-from repro.errors import DeadlockError, OsError
+from repro.errors import DeadlockError, OsError, SimulationError
 from repro.hw.core import OpInterrupted
 from repro.hw.machine import Machine
 from repro.ops import (
@@ -79,6 +79,14 @@ class SimOS:
         self.fault_engine = None
         # Live threads per socket drive the cache model's LLC sharing.
         self._live_threads_per_socket = [0] * machine.arch.sockets
+        # Non-daemon threads still running: when the count hits zero the
+        # simulator is asked to stop, which is how run_to_completion
+        # terminates without re-evaluating a predicate per event.  The
+        # stop is only requested while run_to_completion is actually
+        # driving — direct sim.run(until_ns=...) callers must not be
+        # interrupted by a thread happening to finish.
+        self._unfinished_nondaemon = 0
+        self._watch_completion = False
 
     # ------------------------------------------------------------------
     # Thread lifecycle
@@ -120,6 +128,12 @@ class SimOS:
         )
         core.current_thread = thread
         self.threads.append(thread)
+        if not daemon:
+            self._unfinished_nondaemon += 1
+            # A spawn in the same callback that finished the last thread
+            # revives the run (mirrors the old between-events predicate).
+            if self._watch_completion:
+                self.sim.cancel_stop()
         self._live_threads_per_socket[socket] += 1
         self.machine.set_llc_sharers(
             socket, max(1, self._live_threads_per_socket[socket])
@@ -147,6 +161,10 @@ class SimOS:
             thread.core.current_thread = None
             self._free_cores[thread.socket].append(thread.core.core_id)
             self._free_cores[thread.socket].sort()
+            if not thread.daemon:
+                self._unfinished_nondaemon -= 1
+                if self._unfinished_nondaemon == 0 and self._watch_completion:
+                    self.sim.request_stop()
             self._live_threads_per_socket[thread.socket] -= 1
             self.machine.set_llc_sharers(
                 thread.socket, max(1, self._live_threads_per_socket[thread.socket])
@@ -355,19 +373,37 @@ class SimOS:
     # Running
     # ------------------------------------------------------------------
     def run_to_completion(self, max_events: int = 200_000_000) -> None:
-        """Run the simulation until every non-daemon thread finished."""
-        def all_done() -> bool:
-            return all(t.finished for t in self.threads if not t.daemon)
+        """Run the simulation until every non-daemon thread finished.
 
+        Completion is event-driven: thread exit paths decrement a live
+        count and request a simulator stop when it reaches zero, so the
+        kernel's fast dispatch path runs without a per-event predicate.
+        Dispatch order and counts are identical to the old
+        predicate-polling loop — the stop lands before the event that
+        would have followed the final thread exit.
+        """
+        remaining = max_events
+        self._watch_completion = True
         try:
-            self.sim.run_until_condition(all_done, max_events=max_events)
-        except Exception as error:
-            if "heap drained" in str(error):
-                stuck = [t.name for t in self.threads if not t.finished]
-                raise DeadlockError(
-                    f"no runnable work but threads blocked: {stuck}"
-                ) from error
-            raise
+            while True:
+                if all(t.finished for t in self.threads if not t.daemon):
+                    return
+                before = self.sim.events_dispatched
+                reason = self.sim.run(max_events=remaining)
+                remaining -= self.sim.events_dispatched - before
+                if reason == "stopped":
+                    continue  # recheck: a stop may race a same-tick spawn
+                if reason == "drained":
+                    stuck = [t.name for t in self.threads if not t.finished]
+                    raise DeadlockError(
+                        f"no runnable work but threads blocked: {stuck}"
+                    )
+                if reason == "max-events":
+                    raise SimulationError(
+                        "event budget exhausted before condition held"
+                    )
+        finally:
+            self._watch_completion = False
 
 
 #: Op types with OS-level interposition points and their symbol names.

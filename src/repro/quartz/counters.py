@@ -38,6 +38,21 @@ class CounterBackend:
         cost = self.fixed_cost_cycles + self.cost_per_event_cycles * len(names)
         return values, cost
 
+    def read_values(
+        self, pmc: PmcFile, names: tuple[str, ...]
+    ) -> tuple[list[float], float]:
+        """Batched read: values as a list aligned with *names*.
+
+        The epoch engine's hot path uses this with a cached name tuple and
+        precomputed event indices, so each close builds one list instead of
+        a dict.  Reads still go through :meth:`PmcFile.read` one event at a
+        time — that per-event call is the fault layer's interception seam.
+        """
+        read = pmc.read
+        values = [read(name) for name in names]
+        cost = self.fixed_cost_cycles + self.cost_per_event_cycles * len(names)
+        return values, cost
+
 
 #: Direct rdpmc reads from user mode (the paper's choice).
 RDPMC_BACKEND = CounterBackend(

@@ -120,7 +120,9 @@ class ThreadEpochState:
     """The Quartz library's per-thread bookkeeping."""
 
     start_ns: float
-    counter_base: dict[str, float]
+    #: Counter values at epoch start, aligned with the engine's cached
+    #: event-name tuple (``EpochEngine._event_names``).
+    counter_base: list[float]
     overhead_pool_ns: float = 0.0
     #: Running wall time spent inside / outside critical sections during
     #: the current epoch (blocked time excluded).
@@ -163,6 +165,36 @@ class EpochEngine:
         self.stats = stats
         self._events = machine.arch.counter_events
         self._freq_ghz = machine.arch.freq_ghz  # nominal (DVFS assumed off)
+        # Hot-path cache: the event-name tuple, each model event's index
+        # into it, and the close costs (all constant per engine), so a
+        # close computes deltas by list index instead of rebuilding dicts.
+        names = self._events.all_events()
+        self._event_names = names
+        self._i_stalls = names.index(self._events.l2_stalls)
+        self._i_hits = names.index(self._events.l3_hit)
+        self._i_combined = (
+            names.index(self._events.l3_miss_combined)
+            if self._events.l3_miss_combined is not None
+            else None
+        )
+        self._i_local = (
+            names.index(self._events.l3_miss_local)
+            if self._events.l3_miss_local is not None
+            else None
+        )
+        self._i_remote = (
+            names.index(self._events.l3_miss_remote)
+            if self._events.l3_miss_remote is not None
+            else None
+        )
+        read_cost = (
+            backend.fixed_cost_cycles
+            + backend.cost_per_event_cycles * len(names)
+        )
+        self._close_cost_cycles = read_cost + EPOCH_BASE_COST_CYCLES
+        self._overhead_per_close_ns = (
+            EPOCH_BASE_COST_CYCLES + read_cost
+        ) / self._freq_ghz
         #: Callables invoked with an :class:`EpochCloseInfo` after every
         #: close's accounting (before the delay spins execute).  The
         #: fault layer's InvariantMonitor attaches here; observers may
@@ -179,7 +211,7 @@ class EpochEngine:
     def open_initial(self, thread: "SimThread") -> float:
         """Start a thread's first epoch; returns the read cost in cycles."""
         pmc = self.machine.pmc(thread.core.core_id)
-        values, cost_cycles = self.backend.read_all(pmc, self._events)
+        values, cost_cycles = self.backend.read_values(pmc, self._event_names)
         now = self.machine.sim.now
         thread.library_state = ThreadEpochState(
             start_ns=now, counter_base=values, last_boundary_ns=now
@@ -210,21 +242,26 @@ class EpochEngine:
         injected_ns, amortized_ns, overhead_ns, pool_before = self._amortize(
             thread, state, delay_ns
         )
-        self._notify_close(EpochCloseInfo(
-            time_ns=self.machine.sim.now,
-            tid=thread.tid,
-            thread_name=thread.name,
-            trigger=trigger,
-            epoch_length_ns=epoch_length_ns,
-            delay_computed_ns=delay_ns,
-            injected_ns=injected_ns,
-            amortized_ns=amortized_ns,
-            overhead_added_ns=overhead_ns,
-            pool_before_ns=pool_before,
-            pool_after_ns=state.overhead_pool_ns,
-            cs_wall_ns=cs_wall_ns,
-            out_wall_ns=out_wall_ns,
-        ))
+        if self.close_observers:
+            self._notify_close(EpochCloseInfo(
+                time_ns=self.machine.sim.now,
+                tid=thread.tid,
+                thread_name=thread.name,
+                trigger=trigger,
+                epoch_length_ns=epoch_length_ns,
+                delay_computed_ns=delay_ns,
+                injected_ns=injected_ns,
+                amortized_ns=amortized_ns,
+                overhead_added_ns=overhead_ns,
+                pool_before_ns=pool_before,
+                pool_after_ns=state.overhead_pool_ns,
+                cs_wall_ns=cs_wall_ns,
+                out_wall_ns=out_wall_ns,
+            ))
+        else:
+            # Observer-free fast path: nothing reads the close record, so
+            # skip building it — only the sequence number must advance.
+            self.closes_notified += 1
         yield Compute(cost_cycles, label="quartz-epoch-processing")
         if self.config.injection_enabled and injected_ns > 0.0:
             self.stats.thread(thread.tid).delay_injected_ns += injected_ns
@@ -271,24 +308,27 @@ class EpochEngine:
         cs_share, out_share = self._split_delay(state, effective_ns)
         state.cs_wall_ns = 0.0
         state.out_wall_ns = 0.0
-        self._notify_close(EpochCloseInfo(
-            time_ns=self.machine.sim.now,
-            tid=thread.tid,
-            thread_name=thread.name,
-            trigger=EpochTrigger.SYNC,
-            epoch_length_ns=epoch_length_ns,
-            delay_computed_ns=delay_ns,
-            injected_ns=injected_ns,
-            amortized_ns=amortized_ns,
-            overhead_added_ns=overhead_ns,
-            pool_before_ns=pool_before,
-            pool_after_ns=state.overhead_pool_ns,
-            cs_wall_ns=cs_wall_ns,
-            out_wall_ns=out_wall_ns,
-            split_delay_ns=effective_ns,
-            cs_share_ns=cs_share,
-            out_share_ns=out_share,
-        ))
+        if self.close_observers:
+            self._notify_close(EpochCloseInfo(
+                time_ns=self.machine.sim.now,
+                tid=thread.tid,
+                thread_name=thread.name,
+                trigger=EpochTrigger.SYNC,
+                epoch_length_ns=epoch_length_ns,
+                delay_computed_ns=delay_ns,
+                injected_ns=injected_ns,
+                amortized_ns=amortized_ns,
+                overhead_added_ns=overhead_ns,
+                pool_before_ns=pool_before,
+                pool_after_ns=state.overhead_pool_ns,
+                cs_wall_ns=cs_wall_ns,
+                out_wall_ns=out_wall_ns,
+                split_delay_ns=effective_ns,
+                cs_share_ns=cs_share,
+                out_share_ns=out_share,
+            ))
+        else:
+            self.closes_notified += 1
         if kind == "release":
             # CS delay propagates to waiters; outside delay after release.
             return SyncClosePlan(cost_cycles, pre_spin_ns=cs_share,
@@ -360,17 +400,18 @@ class EpochEngine:
     ) -> tuple[float, float]:
         """Read counters, compute the epoch's delay, update stats."""
         pmc = self.machine.pmc(thread.core.core_id)
-        values, read_cost_cycles = self.backend.read_all(pmc, self._events)
+        values, _ = self.backend.read_values(pmc, self._event_names)
         # Clamp each delta at zero: counter reads are monotone on healthy
         # hardware, but wrapped/overflowed registers (real, and emulated by
         # the fault layer) would otherwise turn the Eq. 2/3 model negative.
-        deltas = {
-            name: max(0.0, values[name] - state.counter_base[name])
-            for name in values
-        }
+        base = state.counter_base
+        deltas = [
+            value - prev if value > prev else 0.0
+            for value, prev in zip(values, base)
+        ]
         state.counter_base = values
         delay_ns = self._delay_from_deltas(deltas)
-        cost_cycles = read_cost_cycles + EPOCH_BASE_COST_CYCLES
+        cost_cycles = self._close_cost_cycles
         thread_stats = self.stats.thread(thread.tid)
         thread_stats.delay_computed_ns += delay_ns
         if trigger is EpochTrigger.MONITOR:
@@ -389,11 +430,7 @@ class EpochEngine:
         Returns ``(injected_ns, amortized_ns, overhead_ns, pool_before_ns)``
         — everything close observers need to audit the accounting.
         """
-        overhead_ns = (
-            EPOCH_BASE_COST_CYCLES
-            + self.backend.fixed_cost_cycles
-            + self.backend.cost_per_event_cycles * len(self._events.all_events())
-        ) / self._freq_ghz
+        overhead_ns = self._overhead_per_close_ns
         pool_before = state.overhead_pool_ns
         injected_ns, amortized_ns, new_pool = amortize_delay(
             pool_before, overhead_ns, delay_ns
@@ -421,11 +458,13 @@ class EpochEngine:
     # ------------------------------------------------------------------
     # The model
     # ------------------------------------------------------------------
-    def _delay_from_deltas(self, deltas: dict[str, float]) -> float:
-        """Counter deltas for one epoch -> required delay (ns)."""
-        events = self._events
-        stall_cycles = deltas[events.l2_stalls]
-        hits = deltas[events.l3_hit]
+    def _delay_from_deltas(self, deltas: list[float]) -> float:
+        """Counter deltas for one epoch -> required delay (ns).
+
+        *deltas* is positional, aligned with ``self._event_names``.
+        """
+        stall_cycles = deltas[self._i_stalls]
+        hits = deltas[self._i_hits]
         if self.config.latency_model == "simple":
             # Eq. (1): every LLC miss treated as serialized — ignores MLP
             # (the Figure 2 strawman, kept for the model ablation).
@@ -447,8 +486,8 @@ class EpochEngine:
             )
         # Two-memory mode (Section 3.3): apportion stalls, slow only the
         # remote (virtual NVM) share.
-        local_misses = deltas[events.l3_miss_local]
-        remote_misses = deltas[events.l3_miss_remote]
+        local_misses = deltas[self._i_local]
+        remote_misses = deltas[self._i_remote]
         misses = local_misses + remote_misses
         if misses <= 0:
             return 0.0
@@ -471,11 +510,10 @@ class EpochEngine:
             self.calibration.dram_remote_ns,
         )
 
-    def _total_misses(self, deltas: dict[str, float]) -> float:
-        events = self._events
-        if events.l3_miss_combined is not None:
-            return deltas[events.l3_miss_combined]
-        return deltas[events.l3_miss_local] + deltas[events.l3_miss_remote]
+    def _total_misses(self, deltas: list[float]) -> float:
+        if self._i_combined is not None:
+            return deltas[self._i_combined]
+        return deltas[self._i_local] + deltas[self._i_remote]
 
     def _state_of(self, thread: "SimThread") -> ThreadEpochState:
         state = thread.library_state

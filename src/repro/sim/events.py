@@ -2,30 +2,53 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
 
 
 class ScheduledEvent:
     """A callback scheduled at a simulated time, cancellable before firing.
 
-    Cancellation is lazy: the heap entry stays in place and is discarded when
-    popped.  This makes :meth:`cancel` O(1), which matters because the core
-    model cancels and reschedules completion events whenever a signal
-    interrupts an in-flight memory activity.
+    Cancellation is lazy: the heap entry stays in place and is discarded
+    when popped.  This makes :meth:`cancel` O(1), which matters because the
+    core model cancels and reschedules completion events whenever a signal
+    interrupts an in-flight memory activity.  The owning simulator keeps a
+    live count of cancelled entries and compacts the heap when they
+    dominate, so cancel-heavy runs cannot grow the heap without bound.
+
+    Instances are pooled by the kernel's fast dispatch path: once fired
+    (or popped cancelled) with no outside references left, an event is
+    reset and reused for a later :meth:`Simulator.schedule` call.  Holding
+    a reference to an event keeps it out of the pool, so handles returned
+    to callers always describe the event they scheduled.
     """
 
-    __slots__ = ("time", "seq", "callback", "_cancelled", "_fired")
+    __slots__ = ("time", "seq", "callback", "sim", "_cancelled", "_fired")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.sim = sim
         self._cancelled = False
         self._fired = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:

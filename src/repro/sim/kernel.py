@@ -1,13 +1,47 @@
-"""The discrete-event simulator loop."""
+"""The discrete-event simulator loop.
+
+The kernel dispatches through one of two loops sharing identical
+semantics:
+
+* the **fast path** — taken whenever no :attr:`Simulator.dispatch_observer`
+  is armed.  A tight loop with the heap, ``heappop`` and the event free
+  list bound to locals, slot-direct attribute access (no property calls),
+  and batched bookkeeping: ``events_dispatched`` and the pending-event
+  counter are reconciled when the loop exits rather than per event.
+  Fired events with no outside references are recycled through a
+  free list, so steady-state dispatch allocates nothing.
+* the **observable path** — taken while a dispatch observer (the
+  invariant monitor's seam) is armed.  Every event flows through the
+  observer exactly as before the fast path existed, with counters exact
+  at each dispatch.
+
+Arming or disarming the observer mid-run is honoured: the loops check a
+wake flag each iteration and :meth:`Simulator.run` re-selects the path.
+Both paths dispatch byte-identical event sequences — the fast path is a
+pure mechanical specialisation, never a semantic fork.
+
+Cancellation is lazy (O(1)), but no longer unbounded: the simulator
+counts cancelled entries still in the heap and compacts in place once
+they exceed half of a non-trivial heap, preserving FIFO tie-break order
+(the (time, seq) total order survives re-heapification).
+"""
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
+from sys import getrefcount, maxsize
 from typing import Callable, Iterator, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import ScheduledEvent
 from repro.sim.random import RandomStreams
+
+_INF = float("inf")
+
+#: Fired/cancelled events kept for reuse; beyond this the GC takes over.
+_POOL_MAX = 4096
+#: Compact only heaps larger than this (small heaps drain fast anyway).
+_COMPACT_MIN_HEAP = 1024
 
 
 class Simulator:
@@ -24,30 +58,95 @@ class Simulator:
 
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
-        self._heap: list[ScheduledEvent] = []
+        #: Heap entries are ``(time, seq, event)`` tuples: heapq then
+        #: compares floats and ints in C, never reaching a Python-level
+        #: ``__lt__`` — the single largest dispatch cost in the
+        #: event-object heap layout this replaced.  ``seq`` is unique,
+        #: so the event object itself is never compared.
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = 0
         self._events_dispatched = 0
+        #: Live count of still-pending events (maintained on schedule,
+        #: cancel, and fire — never recomputed by scanning the heap).
+        self._pending = 0
+        #: Cancelled entries still sitting in the heap.
+        self._cancelled_in_heap = 0
+        #: Times the heap was compacted (introspection/bench counter).
+        self.compactions = 0
+        #: Free list of fired events with no outside references.
+        self._free: list[ScheduledEvent] = []
+        #: Set by :meth:`request_stop`; consumed by the run loops.
+        self._stop = False
+        #: One-bit doorbell the run loops poll: stop requested or an
+        #: observer armed mid-run.
+        self._wake = False
         self.random = RandomStreams(seed=seed)
         #: Optional hook mapping a relative delay to a perturbed delay —
         #: the fault layer's timer-jitter/drift seam.  Must return a
         #: non-negative float; None (the default) costs one attribute
         #: check per schedule.
         self.schedule_interceptor: Optional[Callable[[float], float]] = None
-        #: Optional hook invoked with each event as it is dispatched,
-        #: after the clock advances — the invariant monitor's view of
-        #: clock monotonicity and FIFO tie-breaking.
-        self.dispatch_observer: Optional[Callable[[ScheduledEvent], None]] = None
+        self._dispatch_observer: Optional[
+            Callable[[ScheduledEvent], None]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    @property
+    def dispatch_observer(self) -> Optional[Callable[[ScheduledEvent], None]]:
+        """Optional hook invoked with each event as it is dispatched,
+        after the clock advances — the invariant monitor's view of
+        clock monotonicity and FIFO tie-breaking.  While armed, dispatch
+        runs on the observable path; arming mid-run takes effect before
+        the next event fires."""
+        return self._dispatch_observer
+
+    @dispatch_observer.setter
+    def dispatch_observer(
+        self, hook: Optional[Callable[[ScheduledEvent], None]]
+    ) -> None:
+        self._dispatch_observer = hook
+        if hook is not None:
+            self._wake = True  # kick a fast loop onto the observable path
+
+    def request_stop(self) -> None:
+        """Ask the running dispatch loop to return ``"stopped"`` before
+        the next event fires.  Sticky until a run loop consumes it."""
+        self._stop = True
+        self._wake = True
+
+    def cancel_stop(self) -> None:
+        """Withdraw a pending :meth:`request_stop` (e.g. new work arrived
+        in the same callback that requested the stop)."""
+        self._stop = False
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay_ns: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule *callback* to run ``delay_ns`` from now."""
-        if self.schedule_interceptor is not None:
-            delay_ns = self.schedule_interceptor(delay_ns)
+        interceptor = self.schedule_interceptor
+        if interceptor is not None:
+            delay_ns = interceptor(delay_ns)
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
-        return self.schedule_at(self.now + delay_ns, callback)
+        seq = self._seq
+        self._seq = seq + 1
+        time_ns = self.now + delay_ns
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time_ns
+            event.seq = seq
+            event.callback = callback
+            event._cancelled = False
+            event._fired = False
+        else:
+            event = ScheduledEvent(time_ns, seq, callback, self)
+        _heappush(self._heap, (time_ns, seq, event))
+        self._pending += 1
+        return event
 
     def schedule_at(self, time_ns: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule *callback* at absolute simulated time ``time_ns``."""
@@ -55,24 +154,65 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time_ns} before now={self.now}"
             )
-        event = ScheduledEvent(time_ns, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time_ns
+            event.seq = seq
+            event.callback = callback
+            event._cancelled = False
+            event._fired = False
+        else:
+            event = ScheduledEvent(time_ns, seq, callback, self)
+        _heappush(self._heap, (time_ns, seq, event))
+        self._pending += 1
         return event
+
+    # ------------------------------------------------------------------
+    # Cancellation hygiene
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`ScheduledEvent.cancel` exactly once per event."""
+        self._pending -= 1
+        cancelled = self._cancelled_in_heap + 1
+        self._cancelled_in_heap = cancelled
+        heap = self._heap
+        if len(heap) > _COMPACT_MIN_HEAP and cancelled * 2 > len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (``heap[:] = ...``) so a running dispatch loop's local
+        binding stays valid.  FIFO tie-break order is preserved: events
+        are totally ordered by (time, seq), so re-heapifying cannot
+        reorder equal-time dispatches.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2]._cancelled]
+        _heapify(heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch the next pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            time_ns, _, event = _heappop(heap)
+            if event._cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            self.now = event.time
+            self.now = time_ns
             self._events_dispatched += 1
-            if self.dispatch_observer is not None:
-                self.dispatch_observer(event)
+            self._pending -= 1
+            observer = self._dispatch_observer
+            if observer is not None:
+                observer(event)
             event._fire()
             return True
         return False
@@ -82,8 +222,8 @@ class Simulator:
         until_ns: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> str:
-        """Run until the event heap drains, *until_ns* passes, or
-        *max_events* more events have been dispatched.
+        """Run until the event heap drains, *until_ns* passes, *max_events*
+        more events have been dispatched, or a stop is requested.
 
         Returns the stop reason:
 
@@ -97,25 +237,128 @@ class Simulator:
           of the next pending event and ``until_ns``, so the two bounds
           compose: time never passes an undispatched event and never
           passes the horizon.
+        * ``"stopped"`` — :meth:`request_stop` was called (usually from
+          a callback); no further event was dispatched after it.
         """
-        budget = max_events
-        while self._heap:
-            event = self._next_pending()
-            if event is None:
-                break
-            if until_ns is not None and event.time > until_ns:
-                self.now = max(self.now, until_ns)
-                return "until"
-            if budget is not None:
-                if budget <= 0:
+        remaining = max_events
+        while True:
+            if self._dispatch_observer is None and not self._wake:
+                reason, dispatched = self._run_fast(until_ns, remaining)
+            else:
+                reason, dispatched = self._run_observed(until_ns, remaining)
+            if remaining is not None:
+                remaining -= dispatched
+            if reason is not None:
+                return reason
+            # reason None: the active loop yielded so the other could
+            # take over (observer armed or disarmed mid-run).
+
+    def _run_fast(
+        self, until_ns: Optional[float], max_events: Optional[int]
+    ) -> tuple[Optional[str], int]:
+        """The no-hooks dispatch loop (see module docstring)."""
+        heap = self._heap
+        pop = _heappop
+        push = _heappush
+        free = self._free
+        refcount = getrefcount
+        until = _INF if until_ns is None else until_ns
+        budget = maxsize if max_events is None else max_events
+        dispatched = 0
+        try:
+            while heap:
+                # Pop eagerly: the common iteration dispatches, so one
+                # heap operation replaces peek-then-pop.  The rare exits
+                # (wake, horizon, budget) push the entry straight back —
+                # it was the minimum, so the heap order is unchanged.
+                # Unpacking (not binding the tuple) drops the entry's
+                # last reference, keeping the refcount gate meaningful.
+                time_ns, seq, event = pop(heap)
+                if event._cancelled:
+                    self._cancelled_in_heap -= 1
+                    if refcount(event) == 2 and len(free) < _POOL_MAX:
+                        event.callback = None
+                        free.append(event)
+                    continue
+                if self._wake:
+                    push(heap, (time_ns, seq, event))
+                    self._wake = False
+                    if self._stop:
+                        self._stop = False
+                        return "stopped", dispatched
+                    return None, dispatched  # observer armed: switch loops
+                if time_ns > until:
+                    push(heap, (time_ns, seq, event))
+                    if until > self.now:
+                        self.now = until
+                    return "until", dispatched
+                if dispatched >= budget:
+                    push(heap, (time_ns, seq, event))
                     if until_ns is not None:
-                        self.now = max(self.now, min(event.time, until_ns))
-                    return "max-events"
-                budget -= 1
-            self.step()
+                        self.now = max(self.now, min(time_ns, until))
+                    return "max-events", dispatched
+                self.now = time_ns
+                event._fired = True
+                dispatched += 1
+                event.callback()
+                if refcount(event) == 2 and len(free) < _POOL_MAX:
+                    event.callback = None
+                    free.append(event)
+        finally:
+            self._events_dispatched += dispatched
+            self._pending -= dispatched
+        if self._wake:
+            self._wake = False
+            if self._stop:
+                self._stop = False
+                return "stopped", 0
+        if until_ns is not None and until_ns > self.now:
+            self.now = until_ns
+        return "drained", 0
+
+    def _run_observed(
+        self, until_ns: Optional[float], max_events: Optional[int]
+    ) -> tuple[Optional[str], int]:
+        """The hook-visible dispatch loop: exact counters, observer seam."""
+        heap = self._heap
+        budget = maxsize if max_events is None else max_events
+        dispatched = 0
+        while heap:
+            time_ns, _, event = heap[0]
+            if event._cancelled:
+                _heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if self._wake:
+                self._wake = False
+                if self._stop:
+                    self._stop = False
+                    return "stopped", dispatched
+            observer = self._dispatch_observer
+            if observer is None:
+                return None, dispatched  # observer disarmed: fast path
+            if until_ns is not None and time_ns > until_ns:
+                self.now = max(self.now, until_ns)
+                return "until", dispatched
+            if dispatched >= budget:
+                if until_ns is not None:
+                    self.now = max(self.now, min(time_ns, until_ns))
+                return "max-events", dispatched
+            _heappop(heap)
+            self.now = time_ns
+            self._events_dispatched += 1
+            self._pending -= 1
+            dispatched += 1
+            observer(event)
+            event._fire()
+        if self._wake:
+            self._wake = False
+            if self._stop:
+                self._stop = False
+                return "stopped", dispatched
         if until_ns is not None:
             self.now = max(self.now, until_ns)
-        return "drained"
+        return "drained", dispatched
 
     def run_until_condition(
         self,
@@ -123,6 +366,11 @@ class Simulator:
         max_events: int = 50_000_000,
     ) -> None:
         """Run until *predicate* becomes true.
+
+        The predicate is re-evaluated between events, so this is the
+        slow, fully-general form — prefer :meth:`request_stop` from a
+        callback when the completion condition has a natural owner (see
+        ``SimOS.run_to_completion``).
 
         Raises :class:`SimulationError` if the heap drains (or the event
         budget is exhausted) first — usually a deadlock in the modelled
@@ -139,17 +387,30 @@ class Simulator:
             remaining -= 1
 
     def _next_pending(self) -> Optional[ScheduledEvent]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            _heappop(heap)
+            self._cancelled_in_heap -= 1
+        return heap[0][2] if heap else None
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def pending_event_count(self) -> int:
-        """Number of still-pending (non-cancelled) events."""
-        return sum(1 for e in self._heap if e.pending)
+        """Number of still-pending (non-cancelled) events.
+
+        Maintained as a live counter on schedule/cancel/fire — O(1),
+        never a heap scan.  During a fast-path run the fired share is
+        reconciled when the loop exits; it is exact whenever client code
+        can observe it between runs, steps, or observable dispatches.
+        """
+        return self._pending
+
+    @property
+    def cancelled_event_count(self) -> int:
+        """Cancelled entries still occupying heap slots (pre-compaction)."""
+        return self._cancelled_in_heap
 
     @property
     def events_dispatched(self) -> int:

@@ -107,22 +107,25 @@ class Process:
         self._pending_event = None  # ScheduledEvent for a resume, if any
         self._waiting_on: Optional[Condition] = None
         self._running = False
+        # The resume value/exception ride on the process (a process has at
+        # most one pending resume), and the kernel callback is bound once —
+        # so resuming allocates no per-resume closure.  ``sim.schedule`` is
+        # also bound once: the resume path is the hottest process code.
+        self._resume_value: Any = None
+        self._resume_exc: Optional[BaseException] = None
+        self._resume = self._resume_step
+        self._sim_schedule = sim.schedule
         # Start the process on the next dispatch at the current time.
         self._schedule_resume(value=None)
 
     # ------------------------------------------------------------------
     # Resumption machinery
     # ------------------------------------------------------------------
-    def _schedule_resume(
-        self, value: Any = None, exc: Optional[BaseException] = None
-    ) -> None:
-        if self.done:
-            raise SimulationError(f"cannot resume finished process {self.name!r}")
-        if self._pending_event is not None and self._pending_event.pending:
-            raise SimulationError(f"process {self.name!r} already has a pending resume")
-        self._pending_event = self.sim.schedule(0.0, lambda: self._advance(value, exc))
-
-    def _advance(self, value: Any, exc: Optional[BaseException]) -> None:
+    def _resume_step(self) -> None:
+        """The kernel callback: advance the generator one step."""
+        value, exc = self._resume_value, self._resume_exc
+        self._resume_value = None
+        self._resume_exc = None
         self._pending_event = None
         self._waiting_on = None
         self._running = True
@@ -141,12 +144,33 @@ class Process:
             return
         finally:
             self._running = False
+        if type(yielded) is Timeout:
+            # Inlined hot branch of _wait_on: a Timeout wait is what
+            # every Compute/Spin op becomes, so it skips the extra call.
+            self._pending_event = self._sim_schedule(
+                yielded.delay_ns, self._resume
+            )
+            return
         self._wait_on(yielded)
+
+    def _schedule_resume(
+        self, value: Any = None, exc: Optional[BaseException] = None
+    ) -> None:
+        if self.done:
+            raise SimulationError(f"cannot resume finished process {self.name!r}")
+        pending = self._pending_event
+        if pending is not None and not pending._cancelled and not pending._fired:
+            raise SimulationError(f"process {self.name!r} already has a pending resume")
+        self._resume_value = value
+        self._resume_exc = exc
+        self._pending_event = self._sim_schedule(0.0, self._resume)
 
     def _wait_on(self, yielded: Any) -> None:
         if isinstance(yielded, Timeout):
-            self._pending_event = self.sim.schedule(
-                yielded.delay_ns, lambda: self._advance(None, None)
+            # The resume slots are already clear (_resume_step consumed
+            # them before advancing the generator).
+            self._pending_event = self._sim_schedule(
+                yielded.delay_ns, self._resume
             )
         elif isinstance(yielded, Condition):
             self._waiting_on = yielded

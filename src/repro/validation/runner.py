@@ -412,11 +412,20 @@ class RunnerStats:
         """Total fault injections across every run and kind."""
         return sum(self.fault_injections.values())
 
+    @property
+    def events_per_sec(self) -> Optional[float]:
+        """Kernel dispatch throughput over summed per-run wall time."""
+        if self.run_wall_s <= 0.0:
+            return None
+        return self.events / self.run_wall_s
+
     def summary(self) -> str:
         """The CLI summary line."""
+        rate = self.events_per_sec
+        rate_text = f" ({rate:,.0f} ev/s)" if rate is not None else ""
         line = (
             f"runner: {self.runs} runs on {self.jobs} job(s), "
-            f"{self.events:,} events, "
+            f"{self.events:,} events{rate_text}, "
             f"{self.run_wall_s:.1f}s total run time in {self.wall_s:.1f}s wall; "
             f"calibration cache: {self.calib_hits} hits "
             f"({self.calib_memory_hits} memory / {self.calib_disk_hits} disk), "
@@ -451,6 +460,7 @@ class RunnerStats:
             "wall_s": self.wall_s,
             "run_wall_s": self.run_wall_s,
             "events": self.events,
+            "events_per_sec": self.events_per_sec,
             "sim_ns": self.sim_ns,
             "calibration_cache": {
                 "memory_hits": self.calib_memory_hits,

@@ -66,6 +66,31 @@ def test_digest_is_stable_within_a_process():
     assert _digest("figure12") == _digest("figure12")
 
 
+def test_digest_identical_with_dispatch_hooks_armed():
+    # The kernel dispatches through a fast path when no hooks are armed
+    # and an observable path when they are.  Arming invariant checking
+    # installs a dispatch observer on every run, forcing the observable
+    # path — the digest must not move by a byte.
+    from repro.faults import active_faults
+
+    fast_path = _digest("figure12")
+    with active_faults(check_invariants=True):
+        observed_path = _digest("figure12")
+    assert observed_path == fast_path, (
+        "experiment digest differs between the no-hooks fast path and "
+        "the observed path; the two dispatch loops have diverged"
+    )
+
+
+def test_digest_identical_across_worker_counts():
+    # Parallel sweep execution must not leak into results: the digest
+    # with --jobs 2 must equal the pinned single-worker digest.
+    reset_run_stats()
+    result = run_fast("figure12", jobs=2)
+    digest = export.experiment_digest({"experiment": result.to_dict()})
+    assert digest == GOLDEN["figure12"]
+
+
 def test_golden_file_is_well_formed():
     assert GOLDEN, "golden digest file is empty"
     for experiment_id, digest in GOLDEN.items():

@@ -1,0 +1,120 @@
+"""run_to_completion's stop-flag termination (no per-event predicate).
+
+Thread exit paths decrement a live non-daemon count and ask the
+simulator to stop when it reaches zero, but only while run_to_completion
+is actually driving — a thread happening to finish must never interrupt
+a direct ``sim.run(until_ns=...)`` call.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.hw import IVY_BRIDGE, Machine
+from repro.ops import Compute, JoinThread, Sleep, SpawnThread
+from repro.os import SimOS
+from repro.sim import Simulator
+
+
+def make_os(seed=1):
+    return SimOS(Machine(Simulator(seed=seed), IVY_BRIDGE))
+
+
+def _spin_body(cycles):
+    def body(ctx):
+        yield Compute(cycles)
+    return body
+
+
+def test_completion_stops_before_daemon_work_drains():
+    os = make_os()
+    ticks = []
+
+    def daemon_body(ctx):
+        while True:
+            yield Sleep(1_000.0)
+            ticks.append(os.sim.now)
+
+    os.create_thread(_spin_body(10_000.0), name="worker")
+    os.create_thread(daemon_body, name="monitor", daemon=True)
+    os.run_to_completion()
+    # The daemon keeps events queued forever; the run must still end
+    # as soon as the last non-daemon thread finishes.
+    assert all(t.finished for t in os.threads if not t.daemon)
+    assert os.sim.pending_event_count > 0
+
+
+def test_thread_finish_does_not_interrupt_direct_sim_run():
+    os = make_os()
+    os.create_thread(_spin_body(1_000.0), name="quick")
+    # Outside run_to_completion a finished thread must not stop a
+    # horizon-bounded run short of its horizon.
+    assert os.sim.run(until_ns=os.sim.now + 50_000.0) == "drained"
+    assert os.sim.now == 50_000.0
+
+
+def test_spawn_in_final_callback_revives_the_run():
+    os = make_os()
+    order = []
+
+    def parent(ctx):
+        yield Compute(1_000.0)
+        order.append("parent-done")
+        child = yield SpawnThread(_chained_child, name="child")
+        yield JoinThread(child)
+        order.append("joined")
+
+    def _chained_child(ctx):
+        yield Compute(1_000.0)
+        order.append("child-done")
+
+    os.create_thread(parent, name="parent")
+    os.run_to_completion()
+    assert order == ["parent-done", "child-done", "joined"]
+    assert all(t.finished for t in os.threads)
+
+
+def test_sequential_run_to_completion_calls_compose():
+    os = make_os()
+    os.create_thread(_spin_body(1_000.0), name="first")
+    os.run_to_completion()
+    first_now = os.sim.now
+    os.create_thread(_spin_body(1_000.0), name="second")
+    os.run_to_completion()
+    assert os.sim.now > first_now
+    assert all(t.finished for t in os.threads)
+
+
+def test_deadlock_still_detected():
+    # Stop-flag termination must not mask deadlock detection: when the
+    # heap drains with a non-daemon thread still blocked, the run has to
+    # raise rather than stop "successfully".
+    from repro.ops import MutexLock
+    from repro.os import Mutex
+
+    os = make_os()
+    mutex = Mutex(os)
+
+    def holder(ctx):
+        yield MutexLock(mutex)
+        # Exits while holding the lock.
+
+    def waiter(ctx):
+        yield Sleep(10.0)
+        yield MutexLock(mutex)
+
+    os.create_thread(holder, name="holder")
+    os.create_thread(waiter, name="waiter")
+    with pytest.raises(DeadlockError):
+        os.run_to_completion()
+
+
+def test_event_budget_exhaustion_raises_simulation_error():
+    os = make_os()
+
+    def ping_pong(ctx):
+        while True:
+            yield Sleep(10.0)
+
+    os.create_thread(ping_pong, name="p")
+    with pytest.raises(SimulationError):
+        os.run_to_completion(max_events=100)
