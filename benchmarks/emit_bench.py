@@ -24,8 +24,8 @@ from repro.validation.experiments.fast import FAST_KWARGS, run_fast
 from repro.validation.runner import consume_run_stats, reset_run_stats
 
 #: The fast-and-representative default set: one microbenchmark, one
-#: sweep, one application validation.
-DEFAULT_EXPERIMENTS = ("table2", "figure8", "pagerank-validation")
+#: sweep, one application validation, one N-tier hybrid-memory sweep.
+DEFAULT_EXPERIMENTS = ("table2", "figure8", "pagerank-validation", "tier-sweep")
 
 
 def emit_one(experiment: str, out_dir: Path, jobs: int) -> Path:

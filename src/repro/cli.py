@@ -102,6 +102,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--tiers",
+        help=(
+            "emulated memory-tier ladder for the multi-tier experiments: "
+            "comma-separated read/write latency pairs in ns, fastest "
+            "first, e.g. '250/350,400/600,700/1100' (tier 0, the local "
+            "DRAM, is implicit)"
+        ),
+    )
+    run.add_argument(
         "--check-invariants",
         action="store_true",
         help=(
@@ -194,6 +203,31 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_tier_ladder(spec: str) -> tuple:
+    """Parse ``--tiers``: 'read/write,read/write,...' ns pairs.
+
+    A bare number is accepted per tier as symmetric read==write.
+    """
+    ladder = []
+    for index, chunk in enumerate(spec.split(",")):
+        chunk = chunk.strip()
+        try:
+            if "/" in chunk:
+                read_text, write_text = chunk.split("/", 1)
+                pair = (float(read_text), float(write_text))
+            else:
+                pair = (float(chunk), float(chunk))
+        except ValueError:
+            raise SystemExit(
+                f"--tiers: cannot parse tier {index + 1} from {chunk!r} "
+                "(expected 'read/write' latencies in ns, e.g. '400/600')"
+            )
+        ladder.append(pair)
+    if not ladder:
+        raise SystemExit("--tiers: at least one tier is required")
+    return tuple(ladder)
+
+
 def _driver_kwargs(
     experiment: str, driver, args: argparse.Namespace
 ) -> dict:
@@ -204,6 +238,18 @@ def _driver_kwargs(
     """
     parameters = inspect.signature(driver).parameters
     kwargs: dict = {}
+    if getattr(args, "tiers", None):
+        ladder = _parse_tier_ladder(args.tiers)
+        # The sweep takes named ladders; the policy study takes one.
+        if "tier_sets" in parameters:
+            kwargs["tier_sets"] = {"cli": ladder}
+        elif "read_write_ns" in parameters:
+            kwargs["read_write_ns"] = ladder
+        else:
+            print(
+                f"note: {experiment} does not take --tiers",
+                file=sys.stderr,
+            )
     if args.arch:
         arch = arch_by_name(args.arch)
         # Drivers take either a single arch or a sequence of them.

@@ -14,7 +14,9 @@ argues informally:
   exactly by ``+overhead -amortised`` and never goes negative;
 * **no-past-schedule** — no close ever produces a negative delay or spin;
 * **split-proportionality** — a sync close's CS and out-of-CS shares sum
-  to the split delay and follow the measured wall-time ratio (Fig. 4b).
+  to the split delay and follow the measured wall-time ratio (Fig. 4b);
+* **tier-delay-conservation** — a multi-tier close's per-tier delay
+  decomposition sums to the computed delay with no negative component.
 
 Violations raise structured :class:`InvariantViolation` errors carrying
 the epoch context, so a failure names the thread, trigger, and simulated
@@ -170,6 +172,31 @@ class InvariantMonitor:
                 {**context, **negatives},
             )
         self._check_split(info, context, tol)
+        self._check_tier_delays(info, context, tol)
+
+    def _check_tier_delays(
+        self, info: EpochCloseInfo, context: dict, tol: float
+    ) -> None:
+        """Per-tier delay conservation (multi-tier closes only): the
+        tier decomposition must sum to the computed delay, with no
+        negative per-tier component."""
+        if info.tier_delays_ns is None:
+            return
+        total = sum(info.tier_delays_ns)
+        if abs(total - info.delay_computed_ns) > tol:
+            self._violate(
+                "tier-delay-conservation",
+                "per-tier delays do not sum to the computed delay",
+                {**context, "tier_delays_ns": list(info.tier_delays_ns),
+                 "delay_computed_ns": info.delay_computed_ns},
+            )
+        for index, delay in enumerate(info.tier_delays_ns):
+            if delay < -tol:
+                self._violate(
+                    "tier-delay-conservation",
+                    f"tier {index} was assigned a negative delay",
+                    {**context, "tier_index": index, "tier_delay_ns": delay},
+                )
 
     def _check_split(
         self, info: EpochCloseInfo, context: dict, tol: float

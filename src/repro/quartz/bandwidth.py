@@ -36,10 +36,22 @@ class BandwidthThrottler:
         self.config = config
         self.nvm_node = nvm_node
         self.applied_register: Optional[int] = None
+        #: Tier name -> register value each tier's bandwidth target maps
+        #: to (multi-tier mode).  The sibling node only has one physical
+        #: throttle register, so the *tightest* (lowest-bandwidth) tier's
+        #: register is the one actually programmed; the rest are recorded
+        #: so exports can show what each tier asked for.
+        self.tier_registers: dict[str, int] = {}
 
     def apply(self) -> None:
         """Program the registers for the configured target bandwidth."""
         target = self.config.nvm_bandwidth_gbps
+        if self.config.mode is EmulationMode.MULTI_TIER and self.config.tiers:
+            tier_target = self._tightest_tier_bandwidth()
+            if tier_target is not None:
+                target = (
+                    tier_target if target is None else min(target, tier_target)
+                )
         if target is not None:
             if target > self.calibration.peak_bandwidth:
                 raise QuartzError(
@@ -74,7 +86,30 @@ class BandwidthThrottler:
             self.kernel_module.reset_throttle(node)
         self.applied_register = None
 
+    def _tightest_tier_bandwidth(self) -> Optional[float]:
+        """Lowest per-tier bandwidth target; fills ``tier_registers``."""
+        tightest: Optional[float] = None
+        self.tier_registers = {}
+        for tier in self.config.tiers or ():
+            if tier.bandwidth_gbps is None:
+                continue
+            if tier.bandwidth_gbps > self.calibration.peak_bandwidth:
+                raise QuartzError(
+                    f"tier '{tier.name}' bandwidth {tier.bandwidth_gbps} "
+                    f"GB/s exceeds attainable "
+                    f"{self.calibration.peak_bandwidth:.1f} GB/s"
+                )
+            self.tier_registers[tier.name] = (
+                self.calibration.register_for_bandwidth(tier.bandwidth_gbps)
+            )
+            if tightest is None or tier.bandwidth_gbps < tightest:
+                tightest = tier.bandwidth_gbps
+        return tightest
+
     def _throttled_nodes(self) -> list[int]:
-        if self.config.mode is EmulationMode.TWO_MEMORY:
+        if self.config.mode in (
+            EmulationMode.TWO_MEMORY,
+            EmulationMode.MULTI_TIER,
+        ):
             return [self.nvm_node]
         return list(range(len(self.kernel_module.machine.controllers)))

@@ -15,6 +15,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import QuartzError
+from repro.quartz.tiers import (
+    PLACEMENT_POLICIES,
+    MemoryTier,
+    validate_tier_list,
+)
 from repro.units import MILLISECOND
 
 
@@ -26,6 +31,10 @@ class EmulationMode(enum.Enum):
     #: Two memory types: local DRAM (fast) + virtual NVM on the sibling
     #: socket (Section 3.3).
     TWO_MEMORY = "two-memory"
+    #: N memory tiers: local DRAM plus an ordered list of emulated
+    #: memories on the sibling socket, each with independent read/write
+    #: latencies (the hybrid-memory generalization of Section 3.3).
+    MULTI_TIER = "multi-tier"
 
 
 class WriteModel(enum.Enum):
@@ -65,8 +74,20 @@ class QuartzConfig:
     nvm_write_bandwidth_gbps: Optional[float] = None
     #: Target NVM write latency for pflush (ns); None = no write delay.
     nvm_write_latency_ns: Optional[float] = None
-    #: Emulation mode: PM everywhere, or DRAM + virtual NVM.
+    #: Emulation mode: PM everywhere, DRAM + virtual NVM, or N tiers.
     mode: EmulationMode = EmulationMode.PM
+    #: Ordered tier list for MULTI_TIER mode.  Tier 0 is the local DRAM;
+    #: tiers >= 1 are emulated memories (fastest first by convention).
+    tiers: Optional[tuple[MemoryTier, ...]] = None
+    #: Page-placement policy between emulated tiers ("static",
+    #: "round-robin", or "hot-promote").
+    placement_policy: str = "static"
+    #: Static/hot-promote placement order: tier indices cycled across
+    #: successive pmallocs (None = everything starts in the slowest tier).
+    placement_order: Optional[tuple[int, ...]] = None
+    #: Hot-page promotion threshold (cumulative accesses) for the
+    #: "hot-promote" policy.
+    promote_threshold_accesses: Optional[int] = None
     #: Write emulation model.
     write_model: WriteModel = WriteModel.PFLUSH
     #: Maximum (static) epoch length; the monitor interrupts threads whose
@@ -146,13 +167,52 @@ class QuartzConfig:
                 f"unknown latency model: {self.latency_model!r} "
                 "(expected 'stalls' or 'simple')"
             )
-        if self.latency_model == "simple" and self.mode is EmulationMode.TWO_MEMORY:
+        if self.latency_model == "simple" and self.mode in (
+            EmulationMode.TWO_MEMORY,
+            EmulationMode.MULTI_TIER,
+        ):
             raise QuartzError(
                 "the Eq. 1 simple model has no local/remote split; "
-                "two-memory mode requires the stall model"
+                f"{self.mode.value} mode requires the stall model"
             )
         if not 1 <= self.epoch_signal <= 64:
             raise QuartzError(f"bad signal number: {self.epoch_signal}")
+        self._validate_tiers()
+
+    def _validate_tiers(self) -> None:
+        if self.mode is not EmulationMode.MULTI_TIER:
+            if self.tiers is not None:
+                raise QuartzError(
+                    "a tier list requires multi-tier mode "
+                    f"(mode is {self.mode.value!r})"
+                )
+            return
+        if self.tiers is None:
+            raise QuartzError("multi-tier mode needs a tier list")
+        validate_tier_list(self.tiers)
+        if self.placement_policy not in PLACEMENT_POLICIES:
+            raise QuartzError(
+                f"unknown placement policy: {self.placement_policy!r} "
+                f"(expected one of {PLACEMENT_POLICIES})"
+            )
+        if self.placement_policy == "hot-promote":
+            if self.promote_threshold_accesses is None:
+                raise QuartzError(
+                    "hot-promote placement needs promote_threshold_accesses"
+                )
+            if self.promote_threshold_accesses <= 0:
+                raise QuartzError(
+                    "promotion threshold must be positive: "
+                    f"{self.promote_threshold_accesses}"
+                )
+        if self.placement_order is not None:
+            valid = range(1, len(self.tiers))
+            for index in self.placement_order:
+                if index not in valid:
+                    raise QuartzError(
+                        f"placement order names tier {index}; emulated "
+                        f"tiers are {tuple(valid)}"
+                    )
 
     @property
     def effective_monitor_interval_ns(self) -> float:

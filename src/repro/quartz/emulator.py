@@ -41,7 +41,8 @@ from repro.quartz.epoch import EpochEngine
 from repro.quartz.kernel_module import QuartzKernelModule
 from repro.quartz.pm import PmWriteEmulator
 from repro.quartz.stats import EpochTrigger, QuartzStats
-from repro.quartz.virtual_topology import VirtualTopology
+from repro.quartz.tiers import TierAccountant, build_policy
+from repro.quartz.virtual_topology import TieredTopology, VirtualTopology
 
 if TYPE_CHECKING:
     from repro.os.thread import ThreadContext
@@ -63,6 +64,7 @@ class Quartz:
         self.kernel_module = QuartzKernelModule(self.machine)
         self.stats = QuartzStats()
         self.virtual_topology: Optional[VirtualTopology] = None
+        self.tier_accountant: Optional[TierAccountant] = None
         self.write_emulator: Optional[PmWriteEmulator] = None
         self._engine: Optional[EpochEngine] = None
         self._throttler: Optional[BandwidthThrottler] = None
@@ -88,10 +90,27 @@ class Quartz:
             )
         backing_latency = (
             self.calibration.dram_remote_ns
-            if config.mode is EmulationMode.TWO_MEMORY
+            if config.mode in (EmulationMode.TWO_MEMORY, EmulationMode.MULTI_TIER)
             else self.calibration.dram_local_ns
         )
-        if config.nvm_read_latency_ns < backing_latency:
+        if config.mode is EmulationMode.MULTI_TIER:
+            # Every emulated tier is backed by the sibling socket's DRAM:
+            # each per-direction target must be reachable by slowing it
+            # down (equal latencies are the zero-delay degenerate case).
+            assert config.tiers is not None
+            for tier in config.tiers[1:]:
+                for direction, target in (
+                    ("read", tier.read_latency_ns),
+                    ("write", tier.write_latency_ns),
+                ):
+                    if target < backing_latency:
+                        raise QuartzError(
+                            f"tier {tier.name!r}: target {direction} "
+                            f"latency {target} ns is below the backing "
+                            f"DRAM latency {backing_latency:.0f} ns; "
+                            "DRAM can only be slowed down"
+                        )
+        elif config.nvm_read_latency_ns < backing_latency:
             raise QuartzError(
                 f"target NVM latency {config.nvm_read_latency_ns} ns is "
                 f"below the backing DRAM latency {backing_latency:.0f} ns; "
@@ -104,6 +123,17 @@ class Quartz:
         nvm_node = 0
         if config.mode is EmulationMode.TWO_MEMORY:
             self.virtual_topology = VirtualTopology(self.machine)
+        elif config.mode is EmulationMode.MULTI_TIER:
+            assert config.tiers is not None
+            policy = build_policy(
+                config.placement_policy,
+                order=config.placement_order,
+                promote_threshold_accesses=config.promote_threshold_accesses,
+            )
+            self.virtual_topology = TieredTopology(
+                self.machine, config.tiers, policy
+            )
+        if self.virtual_topology is not None:
             self.os.default_cpu_node = self.virtual_topology.compute_sockets[0]
             nvm_node = self.virtual_topology.nvm_node_for(
                 self.virtual_topology.compute_sockets[0]
@@ -114,6 +144,15 @@ class Quartz:
             self.os.interpose.register_sync_hook(
                 "pfree", self.virtual_topology.pfree_hook
             )
+        if isinstance(self.virtual_topology, TieredTopology):
+            # Per-tier reference accounting rides the dispatch-observer
+            # seam; any observer already installed there is chained.
+            self.tier_accountant = TierAccountant(
+                self.virtual_topology.directory,
+                self.virtual_topology.policy,
+                previous_observer=self.os.interpose.dispatch_observer,
+            )
+            self.os.interpose.dispatch_observer = self.tier_accountant
         self._throttler = BandwidthThrottler(
             self.kernel_module, self.calibration, config, nvm_node
         )
@@ -121,12 +160,31 @@ class Quartz:
 
         backend = backend_by_name(config.counter_backend)
         self._engine = EpochEngine(
-            self.machine, config, self.calibration, backend, self.stats
+            self.machine,
+            config,
+            self.calibration,
+            backend,
+            self.stats,
+            tiered=(
+                self.virtual_topology
+                if isinstance(self.virtual_topology, TieredTopology)
+                else None
+            ),
+            accountant=self.tier_accountant,
         )
 
-        if config.nvm_write_latency_ns is not None:
+        if config.nvm_write_latency_ns is not None or (
+            config.mode is EmulationMode.MULTI_TIER
+        ):
             self.write_emulator = PmWriteEmulator(
-                self.machine, config, self.calibration
+                self.machine,
+                config,
+                self.calibration,
+                directory=(
+                    self.virtual_topology.directory
+                    if isinstance(self.virtual_topology, TieredTopology)
+                    else None
+                ),
             )
             self.os.interpose.register_op_hook(
                 "pflush", self.write_emulator.pflush_hook
@@ -176,6 +234,12 @@ class Quartz:
             raise QuartzError("Quartz is not attached")
         self._attached = False
         self.os.interpose.unregister_all()
+        if self.tier_accountant is not None:
+            # Restore whatever observer the accountant chained over.
+            self.os.interpose.dispatch_observer = (
+                self.tier_accountant.previous_observer
+            )
+            self.tier_accountant = None
         if self.write_emulator is not None:
             try:
                 self.os.thread_finished_callbacks.remove(

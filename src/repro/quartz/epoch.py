@@ -41,11 +41,15 @@ from repro.quartz.model import (
     eq2_delay_from_stalls,
     eq3_ldm_stall,
     eq4_remote_stall_split,
+    eqN_tier_stall_split,
+    tier_direction_delay,
 )
 from repro.quartz.stats import EpochTrigger, QuartzStats, ThreadQuartzStats
 
 if TYPE_CHECKING:
     from repro.os.thread import SimThread
+    from repro.quartz.tiers import TierAccountant
+    from repro.quartz.virtual_topology import TieredTopology
 
 #: Cycles for the timestamp bookkeeping at a sync boundary (two rdtscp
 #: plus arithmetic) — far cheaper than a full epoch close, which is what
@@ -113,6 +117,10 @@ class EpochCloseInfo:
     #: Two closes can share a float timestamp; the sequence number gives
     #: observers (trace, crash injector) a total, deterministic identity.
     close_seq: int = 0
+    #: Per-tier delay decomposition of a multi-tier close (index 0 is the
+    #: DRAM tier, always 0.0); None outside multi-tier mode.  The
+    #: invariant monitor checks these sum to ``delay_computed_ns``.
+    tier_delays_ns: Optional[tuple[float, ...]] = None
 
 
 @dataclass
@@ -132,6 +140,9 @@ class ThreadEpochState:
     last_boundary_ns: float = 0.0
     #: Critical-section nesting depth.
     cs_depth: int = 0
+    #: Per-tier (reads, writes) accountant snapshot at epoch start —
+    #: the software analogue of ``counter_base`` (multi-tier mode only).
+    tier_base: Optional[list] = None
 
 
 @dataclass
@@ -157,12 +168,16 @@ class EpochEngine:
         calibration: CalibrationData,
         backend: CounterBackend,
         stats: QuartzStats,
+        tiered: Optional["TieredTopology"] = None,
+        accountant: Optional["TierAccountant"] = None,
     ):
         self.machine = machine
         self.config = config
         self.calibration = calibration
         self.backend = backend
         self.stats = stats
+        self.tiered = tiered
+        self.accountant = accountant
         self._events = machine.arch.counter_events
         self._freq_ghz = machine.arch.freq_ghz  # nominal (DVFS assumed off)
         # Hot-path cache: the event-name tuple, each model event's index
@@ -202,8 +217,19 @@ class EpochEngine:
         self.close_observers: list = []
         #: Total closes notified so far (stamps ``close_seq``).
         self.closes_notified = 0
-        if config.mode is EmulationMode.TWO_MEMORY:
+        #: Per-tier decomposition of the most recent close's delay
+        #: (multi-tier mode only) — stashed here so the close paths can
+        #: hand it to observers without widening ``_close_measure``'s
+        #: return (which the epoch trace wraps).
+        self._last_tier_delays: Optional[tuple[float, ...]] = None
+        if config.mode in (EmulationMode.TWO_MEMORY, EmulationMode.MULTI_TIER):
             machine.arch.require_local_remote_counters()
+        if config.mode is EmulationMode.MULTI_TIER and (
+            tiered is None or accountant is None
+        ):
+            raise QuartzError(
+                "multi-tier mode needs the tiered topology and accountant"
+            )
 
     # ------------------------------------------------------------------
     # Epoch lifecycle
@@ -214,7 +240,14 @@ class EpochEngine:
         values, cost_cycles = self.backend.read_values(pmc, self._event_names)
         now = self.machine.sim.now
         thread.library_state = ThreadEpochState(
-            start_ns=now, counter_base=values, last_boundary_ns=now
+            start_ns=now,
+            counter_base=values,
+            last_boundary_ns=now,
+            tier_base=(
+                self.accountant.snapshot(thread.tid)
+                if self.accountant is not None
+                else None
+            ),
         )
         self.stats.per_thread[thread.tid] = ThreadQuartzStats(
             tid=thread.tid,
@@ -257,6 +290,7 @@ class EpochEngine:
                 pool_after_ns=state.overhead_pool_ns,
                 cs_wall_ns=cs_wall_ns,
                 out_wall_ns=out_wall_ns,
+                tier_delays_ns=self._last_tier_delays,
             ))
         else:
             # Observer-free fast path: nothing reads the close record, so
@@ -326,6 +360,7 @@ class EpochEngine:
                 split_delay_ns=effective_ns,
                 cs_share_ns=cs_share,
                 out_share_ns=out_share,
+                tier_delays_ns=self._last_tier_delays,
             ))
         else:
             self.closes_notified += 1
@@ -410,7 +445,22 @@ class EpochEngine:
             for value, prev in zip(values, base)
         ]
         state.counter_base = values
-        delay_ns = self._delay_from_deltas(deltas)
+        tier_deltas = None
+        if self.accountant is not None:
+            snapshot = self.accountant.snapshot(thread.tid)
+            tier_base = state.tier_base or [(0.0, 0.0)] * len(snapshot)
+            tier_deltas = [
+                (
+                    max(0.0, reads - base_reads),
+                    max(0.0, writes - base_writes),
+                )
+                for (reads, writes), (base_reads, base_writes) in zip(
+                    snapshot, tier_base
+                )
+            ]
+            state.tier_base = snapshot
+        self._last_tier_delays = None
+        delay_ns = self._delay_from_deltas(deltas, tier_deltas)
         cost_cycles = self._close_cost_cycles
         thread_stats = self.stats.thread(thread.tid)
         thread_stats.delay_computed_ns += delay_ns
@@ -458,10 +508,14 @@ class EpochEngine:
     # ------------------------------------------------------------------
     # The model
     # ------------------------------------------------------------------
-    def _delay_from_deltas(self, deltas: list[float]) -> float:
+    def _delay_from_deltas(
+        self, deltas: list[float], tier_deltas: Optional[list] = None
+    ) -> float:
         """Counter deltas for one epoch -> required delay (ns).
 
-        *deltas* is positional, aligned with ``self._event_names``.
+        *deltas* is positional, aligned with ``self._event_names``;
+        *tier_deltas* carries the accountant's per-tier (reads, writes)
+        deltas in multi-tier mode.
         """
         stall_cycles = deltas[self._i_stalls]
         hits = deltas[self._i_hits]
@@ -475,6 +529,13 @@ class EpochEngine:
             )
         if self.config.mode is EmulationMode.PM:
             misses = self._total_misses(deltas)
+            if hits + misses <= 0:
+                # Eq. (3) rejects a positive stall count with no LLC
+                # references (inconsistent PMC feed); the engine keeps
+                # the run alive and counts the discarded epoch instead.
+                if stall_cycles > 0:
+                    self.stats.model_warnings += 1
+                return 0.0
             ldm_stall_cycles = eq3_ldm_stall(
                 stall_cycles, hits, misses, self.calibration.w_local
             )
@@ -484,12 +545,16 @@ class EpochEngine:
                 self.config.nvm_read_latency_ns,
                 self.calibration.dram_local_ns,
             )
+        if self.config.mode is EmulationMode.MULTI_TIER:
+            return self._multi_tier_delay(deltas, tier_deltas)
         # Two-memory mode (Section 3.3): apportion stalls, slow only the
         # remote (virtual NVM) share.
         local_misses = deltas[self._i_local]
         remote_misses = deltas[self._i_remote]
         misses = local_misses + remote_misses
         if misses <= 0:
+            if stall_cycles > 0:
+                self.stats.model_warnings += 1
             return 0.0
         w_effective = (
             local_misses * self.calibration.w_local
@@ -509,6 +574,78 @@ class EpochEngine:
             self.config.nvm_read_latency_ns,
             self.calibration.dram_remote_ns,
         )
+
+    def _multi_tier_delay(
+        self, deltas: list[float], tier_deltas: Optional[list]
+    ) -> float:
+        """The N-tier generalization of the Section 3.3 split.
+
+        The hardware only separates local vs. remote LLC misses; the
+        accountant's per-tier reference counts apportion the *remote*
+        misses across the emulated tiers, the generalized Eq. (4) splits
+        the stall time latency-weighted across all tiers, and each
+        tier's share is stretched to its own read/write targets.  Sets
+        ``_last_tier_delays`` for observers (per-tier delay
+        conservation), and mirrors the directory's placement/migration
+        report into the run statistics.
+        """
+        tiers = self.config.tiers
+        assert tiers is not None and tier_deltas is not None
+        if self.tiered is not None:
+            self.stats.tier_report = self.tiered.directory.report()
+        stall_cycles = deltas[self._i_stalls]
+        hits = deltas[self._i_hits]
+        local_misses = deltas[self._i_local]
+        remote_misses = deltas[self._i_remote]
+        misses = local_misses + remote_misses
+        zero = tuple(0.0 for _ in tiers)
+        if misses <= 0:
+            if stall_cycles > 0:
+                self.stats.model_warnings += 1
+            self._last_tier_delays = zero
+            return 0.0
+        w_effective = (
+            local_misses * self.calibration.w_local
+            + remote_misses * self.calibration.w_remote
+        ) / misses
+        ldm_stall_cycles = eq3_ldm_stall(stall_cycles, hits, misses, w_effective)
+        ldm_stall_ns = ldm_stall_cycles / self._freq_ghz
+        # Apportion the hardware's remote-miss count across the emulated
+        # tiers in proportion to the software-tracked references (the
+        # counters are ground truth for *how many* misses went remote;
+        # the directory knows *where* they went).  With no tracked
+        # references the split is even — deterministic, and only reached
+        # when remote traffic bypassed every tiered region.
+        totals = [reads + writes for reads, writes in tier_deltas[1:]]
+        tracked = sum(totals)
+        if tracked > 0:
+            references = [local_misses] + [
+                remote_misses * (count / tracked) for count in totals
+            ]
+        else:
+            share = remote_misses / (len(tiers) - 1)
+            references = [local_misses] + [share] * (len(tiers) - 1)
+        backing = [self.calibration.dram_local_ns] + [
+            self.calibration.dram_remote_ns
+        ] * (len(tiers) - 1)
+        shares = eqN_tier_stall_split(ldm_stall_ns, references, backing)
+        tier_delays = [0.0]
+        total_delay = 0.0
+        for index in range(1, len(tiers)):
+            reads, writes = tier_deltas[index]
+            read_delay, write_delay = tier_direction_delay(
+                shares[index],
+                reads,
+                writes,
+                tiers[index].read_latency_ns,
+                tiers[index].write_latency_ns,
+                self.calibration.dram_remote_ns,
+            )
+            delay = read_delay + write_delay
+            tier_delays.append(delay)
+            total_delay += delay
+        self._last_tier_delays = tuple(tier_delays)
+        return total_delay
 
     def _total_misses(self, deltas: list[float]) -> float:
         if self._i_combined is not None:

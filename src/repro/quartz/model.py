@@ -13,6 +13,8 @@ Notation (Sections 2.2, 3.3):
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.errors import QuartzError
 
 
@@ -25,7 +27,7 @@ def eq1_simple_delay(
     which is why Quartz uses :func:`eq2_delay_from_stalls` instead; kept
     for the model-comparison ablation.
     """
-    _require_latencies(nvm_latency_ns, dram_latency_ns)
+    _require_latencies(nvm_latency_ns, dram_latency_ns, equation="Eq. (1)")
     if memory_references < 0:
         raise QuartzError(f"negative reference count: {memory_references}")
     return memory_references * (nvm_latency_ns - dram_latency_ns)
@@ -42,7 +44,7 @@ def eq2_delay_from_stalls(
     converts from cycles using the nominal frequency — the step DVFS
     breaks, Section 6).
     """
-    _require_latencies(nvm_latency_ns, dram_latency_ns)
+    _require_latencies(nvm_latency_ns, dram_latency_ns, equation="Eq. (2)")
     if ldm_stall_ns < 0:
         raise QuartzError(f"negative stall time: {ldm_stall_ns}")
     return ldm_stall_ns / dram_latency_ns * (nvm_latency_ns - dram_latency_ns)
@@ -70,6 +72,17 @@ def eq3_ldm_stall(
     weighted_misses = w_dram_to_l3 * l3_misses
     denominator = l3_hits + weighted_misses
     if denominator <= 0:
+        if l2_pending_stall_cycles > 0:
+            # A positive stall count with zero LLC references means the
+            # PMC feed is inconsistent (miscalibrated or wrapped); the
+            # old behaviour of returning 0 silently discarded the stall
+            # time and underreported delay.
+            raise QuartzError(
+                f"Eq. (3): {l2_pending_stall_cycles} L2-pending stall "
+                f"cycles but zero weighted LLC references "
+                f"(hits={l3_hits}, misses={l3_misses}); inconsistent "
+                "counter feed"
+            )
         return 0.0
     return l2_pending_stall_cycles * weighted_misses / denominator
 
@@ -108,11 +121,104 @@ def eq4_remote_stall_split(
     return total_stall_ns * (remote_weight / denominator)
 
 
-def _require_latencies(nvm_latency_ns: float, dram_latency_ns: float) -> None:
+def eqN_tier_stall_split(
+    total_stall_ns: float,
+    tier_references: "Sequence[float]",
+    tier_latencies_ns: "Sequence[float]",
+) -> tuple[float, ...]:
+    """N-tier generalization of Eq. (4): stall share per memory tier.
+
+    Splits *total_stall_ns* across an ordered list of tiers in proportion
+    to ``references_i x latency_i`` — exactly Eq. (4)'s latency-weighted
+    partition, extended from {local, remote} to any tier count.  The
+    arithmetic replicates :func:`eq4_remote_stall_split` operation for
+    operation (same normalisation by the largest reference count, same
+    summation order), so for two tiers the second share is bit-identical
+    to ``eq4_remote_stall_split(total, refs[0], refs[1], lat[0], lat[1])``
+    — the property the golden-digest regression pins.
+    """
+    if total_stall_ns < 0:
+        raise QuartzError(f"negative stall time: {total_stall_ns}")
+    if len(tier_references) != len(tier_latencies_ns):
+        raise QuartzError(
+            f"tier reference/latency length mismatch: "
+            f"{len(tier_references)} != {len(tier_latencies_ns)}"
+        )
+    if not tier_references:
+        raise QuartzError("stall split needs at least one tier")
+    for references in tier_references:
+        if references < 0:
+            raise QuartzError("negative reference counts")
+    for latency in tier_latencies_ns:
+        if latency <= 0:
+            raise QuartzError("latencies must be positive")
+    # Same subnormal guard as Eq. (4): normalise by the largest reference
+    # count before weighting so tiny counts keep their ratio instead of
+    # underflowing, and the shares stay within [0, total].
+    scale = max(tier_references)
+    if scale <= 0:
+        return tuple(0.0 for _ in tier_references)
+    weights = [
+        (references / scale) * latency
+        for references, latency in zip(tier_references, tier_latencies_ns)
+    ]
+    denominator = 0.0
+    for weight in weights:
+        denominator += weight
+    if denominator <= 0:
+        return tuple(0.0 for _ in tier_references)
+    return tuple(total_stall_ns * (weight / denominator) for weight in weights)
+
+
+def tier_direction_delay(
+    stall_ns: float,
+    read_references: float,
+    write_references: float,
+    read_latency_ns: float,
+    write_latency_ns: float,
+    backing_latency_ns: float,
+) -> tuple[float, float]:
+    """Per-direction delay for one tier's stall share.
+
+    Splits a tier's stall time between loads and stores in proportion to
+    the observed reference counts (Koshiba et al.'s asymmetric-latency
+    model), then stretches each direction by its own target latency via
+    Eq. (2).  With no observed references everything is treated as reads
+    — the PMC stall counters only see load stalls, so that is the
+    conservative attribution.  Returns ``(read_delay_ns, write_delay_ns)``.
+    """
+    if stall_ns < 0:
+        raise QuartzError(f"negative stall time: {stall_ns}")
+    if read_references < 0 or write_references < 0:
+        raise QuartzError("negative reference counts")
+    total = read_references + write_references
+    if total <= 0:
+        return (
+            eq2_delay_from_stalls(stall_ns, read_latency_ns, backing_latency_ns),
+            0.0,
+        )
+    # Ratio first, mirroring the split-delay guard in the epoch engine:
+    # the remainder must never round below zero.
+    read_share = stall_ns * (read_references / total)
+    write_share = max(0.0, stall_ns - read_share)
+    return (
+        eq2_delay_from_stalls(read_share, read_latency_ns, backing_latency_ns),
+        eq2_delay_from_stalls(write_share, write_latency_ns, backing_latency_ns),
+    )
+
+
+def _require_latencies(
+    nvm_latency_ns: float, dram_latency_ns: float, equation: str = "the model"
+) -> None:
     if dram_latency_ns <= 0:
         raise QuartzError(f"DRAM latency must be positive: {dram_latency_ns}")
+    # The equal case is explicitly allowed: zero-delay emulation is valid
+    # (it is the natural 1-tier degenerate configuration); only a target
+    # strictly below the backing latency is unemulable.
     if nvm_latency_ns < dram_latency_ns:
         raise QuartzError(
-            f"cannot emulate NVM faster than the backing DRAM "
-            f"({nvm_latency_ns} < {dram_latency_ns})"
+            f"{equation}: target NVM latency {nvm_latency_ns} ns is below "
+            f"the backing DRAM latency {dram_latency_ns} ns; DRAM can only "
+            "be slowed down (equal latencies are allowed and yield zero "
+            "delay)"
         )

@@ -28,6 +28,7 @@ from repro.quartz.config import QuartzConfig, WriteModel
 if TYPE_CHECKING:
     from repro.os.system import SimOS
     from repro.os.thread import SimThread
+    from repro.quartz.tiers import TierDirectory
 
 
 class PmWriteEmulator:
@@ -38,12 +39,18 @@ class PmWriteEmulator:
         machine: Machine,
         config: QuartzConfig,
         calibration: CalibrationData,
+        directory: Optional["TierDirectory"] = None,
     ):
-        if config.nvm_write_latency_ns is None:
+        if config.nvm_write_latency_ns is None and directory is None:
             raise QuartzError("write emulation requires nvm_write_latency_ns")
         self.machine = machine
         self.config = config
         self.calibration = calibration
+        #: Region -> tier mapping of a multi-tier attachment; when set,
+        #: a flushed region pays its *tier's* write latency (the
+        #: read/write asymmetry of the N-tier model) with
+        #: ``nvm_write_latency_ns`` as the fallback for untiered regions.
+        self.directory = directory
         #: Per-thread emulated completion deadlines of posted flushes.
         self._pending_deadlines: dict[int, list[float]] = defaultdict(list)
         self.flushes_emulated = 0
@@ -76,7 +83,7 @@ class PmWriteEmulator:
             op.region, op.lines, label="quartz-flushopt", line=op.line
         )
         deadline = (
-            self.machine.sim.now + self.config.nvm_write_latency_ns
+            self.machine.sim.now + self._write_latency_for(op.region)
         )
         self._pending_deadlines[thread.tid].append(deadline)
         self.flushes_emulated += op.lines
@@ -118,10 +125,21 @@ class PmWriteEmulator:
         self._pending_deadlines.pop(thread.tid, None)
 
     # ------------------------------------------------------------------
+    def _write_latency_for(self, region) -> float:
+        """Target write latency of one region (its tier's, or the global)."""
+        if self.directory is not None:
+            tier = self.directory.tier_of(region.region_id)
+            if tier is not None:
+                return self.directory.tiers[tier].write_latency_ns
+        if self.config.nvm_write_latency_ns is None:
+            # Untiered region under a tier-only attachment: no write
+            # delay beyond the hardware writeback.
+            return 0.0
+        return self.config.nvm_write_latency_ns
+
     def _extra_write_delay_ns(self, thread: "SimThread", op: Flush) -> float:
         """Per-line delay on top of the hardware writeback."""
         hardware_ns = self.machine.dram_latency_ns(
             thread.core.socket, op.region.node
         )
-        assert self.config.nvm_write_latency_ns is not None
-        return max(0.0, self.config.nvm_write_latency_ns - hardware_ns)
+        return max(0.0, self._write_latency_for(op.region) - hardware_ns)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 class EpochTrigger(enum.Enum):
@@ -68,6 +69,13 @@ class QuartzStats:
     init_cost_cycles: float = 0.0
     monitor_wakeups: int = 0
     signals_posted: int = 0
+    #: Epochs whose positive stall time had to be discarded because the
+    #: reference denominator was zero (an inconsistent PMC feed) — the
+    #: telemetry side of the Eq. (3) consistency check.
+    model_warnings: int = 0
+    #: Tier placement/migration summary of a multi-tier run (see
+    #: :meth:`repro.quartz.tiers.TierDirectory.report`); None otherwise.
+    tier_report: Optional[dict] = None
 
     def thread(self, tid: int) -> ThreadQuartzStats:
         """Stats record of one registered thread."""
@@ -131,6 +139,8 @@ class QuartzStats:
             "overhead_amortized_ns": self.overhead_amortized_ns,
             "overhead_residual_ns": self.overhead_residual_ns,
             "fully_amortized": self.fully_amortized,
+            "model_warnings": self.model_warnings,
+            "tier_report": self.tier_report,
             "per_thread": [
                 self.per_thread[tid].to_dict()
                 for tid in sorted(self.per_thread)

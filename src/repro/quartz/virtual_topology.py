@@ -10,11 +10,17 @@ LLC misses into local vs. remote via hardware counters.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Sequence, TYPE_CHECKING
 
 from repro.errors import QuartzError
 from repro.hw.machine import Machine
 from repro.hw.topology import MemoryRegion, PageSize
+from repro.quartz.tiers import (
+    MemoryTier,
+    PlacementPolicy,
+    TierDirectory,
+    validate_tier_list,
+)
 
 if TYPE_CHECKING:
     from repro.os.thread import SimThread
@@ -77,3 +83,52 @@ class VirtualTopology:
         if not region.persistent:
             raise QuartzError("pfree of a non-persistent region")
         self.machine.free(region)
+
+
+class TieredTopology(VirtualTopology):
+    """The N-tier generalization of the virtual topology.
+
+    Physically identical to the two-memory layout — every emulated tier
+    lives on the sibling socket's DRAM, because that is the only memory
+    whose LLC misses the local/remote counters can separate.  What
+    differs is the *logical* mapping: a placement policy assigns each
+    pmalloc'd region to one of the emulated tiers, the
+    :class:`~repro.quartz.tiers.TierDirectory` remembers the assignment,
+    and the epoch engine charges each tier's share of the measured
+    remote stalls at that tier's own read/write latencies.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        tiers: Sequence[MemoryTier],
+        policy: PlacementPolicy,
+    ):
+        super().__init__(machine)
+        validate_tier_list(tiers)
+        self.tiers = tuple(tiers)
+        self.policy = policy
+        self.directory = TierDirectory(tiers=self.tiers)
+
+    def pmalloc_hook(
+        self,
+        thread: "SimThread",
+        size_bytes: int,
+        page_size: PageSize,
+        label: str,
+    ) -> MemoryRegion:
+        """Allocate on the sibling socket and file under a tier."""
+        tier_index = self.policy.place(size_bytes, self.directory)
+        region = super().pmalloc_hook(
+            thread,
+            size_bytes,
+            page_size,
+            label or f"tier-{self.tiers[tier_index].name}",
+        )
+        self.directory.register(region, tier_index)
+        return region
+
+    def pfree_hook(self, thread: "SimThread", region: MemoryRegion) -> None:
+        """Release a tiered region and drop its directory entry."""
+        self.directory.unregister(region)
+        super().pfree_hook(thread, region)

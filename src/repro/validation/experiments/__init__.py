@@ -37,6 +37,10 @@ from repro.validation.experiments.extensions import (
     run_technology_comparison,
 )
 from repro.validation.experiments.crash import run_crash_check
+from repro.validation.experiments.tiers import (
+    run_migration_policy,
+    run_tier_sweep,
+)
 
 #: CLI name -> experiment driver.
 REGISTRY = {
@@ -63,6 +67,8 @@ REGISTRY = {
     "technology-comparison": run_technology_comparison,
     "kv-write-models": run_kv_write_models,
     "crash-check": run_crash_check,
+    "tier-sweep": run_tier_sweep,
+    "migration-policy": run_migration_policy,
 }
 
 __all__ = ["REGISTRY"] + sorted(

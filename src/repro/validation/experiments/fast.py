@@ -139,6 +139,15 @@ FAST_KWARGS: dict[str, Callable[[], dict]] = {
             seed=3,
         ),
     },
+    "tier-sweep": lambda: {
+        "tier_sets": {"3-tier": ((250.0, 350.0), (400.0, 600.0), (700.0, 1100.0))},
+        "elements_per_tier": 30_000,
+        "dram_elements": 30_000,
+    },
+    "migration-policy": lambda: {
+        "elements_per_tier": 10_000,
+        "promote_threshold_accesses": 4_000,
+    },
 }
 
 

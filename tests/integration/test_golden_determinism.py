@@ -14,8 +14,9 @@ To regenerate after an *intentional* behaviour change::
     from repro.validation.runner import reset_run_stats
     from repro.validation import export
     digests = {}
-    for eid in ("figure12", "epoch-size-study", "figure16-latency",
-                "crash-check"):
+    for eid in ("figure12", "figure14", "table2", "epoch-size-study",
+                "figure16-latency", "crash-check", "tier-sweep",
+                "migration-policy"):
         reset_run_stats()
         result = run_fast(eid, jobs=1)
         digests[eid] = export.experiment_digest(
@@ -89,6 +90,15 @@ def test_digest_identical_across_worker_counts():
     result = run_fast("figure12", jobs=2)
     digest = export.experiment_digest({"experiment": result.to_dict()})
     assert digest == GOLDEN["figure12"]
+
+
+def test_tier_sweep_digest_identical_across_worker_counts():
+    # The N-tier sweep fans out one spec per (arch, tier set) through the
+    # same parallel runner: its export must also be worker-count blind.
+    reset_run_stats()
+    result = run_fast("tier-sweep", jobs=2)
+    digest = export.experiment_digest({"experiment": result.to_dict()})
+    assert digest == GOLDEN["tier-sweep"]
 
 
 def test_golden_file_is_well_formed():

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import QuartzError
 from repro.hw import IVY_BRIDGE
 from repro.hw.cache import AnalyticCacheModel
 from repro.hw.memory import MemoryController
@@ -170,6 +171,12 @@ def test_property_bigger_footprints_never_hit_more(footprint, factor):
     st.floats(1.0, 50.0),  # W
 )
 def test_property_eq3_bounded_by_total_stalls(stalls, hits, misses, w):
+    if hits + w * misses <= 0 and stalls > 0:
+        # Positive stalls with zero LLC references is an inconsistent
+        # counter feed: Eq. (3) refuses instead of silently dropping it.
+        with pytest.raises(QuartzError, match=r"Eq. \(3\)"):
+            eq3_ldm_stall(stalls, hits, misses, w)
+        return
     estimate = eq3_ldm_stall(stalls, hits, misses, w)
     assert 0.0 <= estimate <= stalls * (1 + 1e-12)
 

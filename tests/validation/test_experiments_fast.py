@@ -46,6 +46,8 @@ def test_registry_covers_every_paper_artefact():
         "technology-comparison", "kv-write-models",
         # Crash-consistency checking (repro.pmem).
         "crash-check",
+        # The N-tier hybrid-memory generalization.
+        "tier-sweep", "migration-policy",
     }
     assert set(REGISTRY) == expected
 
