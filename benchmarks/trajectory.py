@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Validate and aggregate the committed ``BENCH_*.json`` trajectory.
+
+Every ``BENCH_*.json`` at the repo root is a standard experiment-export
+document (``repro.validation.export``): the digest-covered experiment
+and manifest sections pin *results*, the telemetry section carries
+*speed*.  This tool is the trajectory's gatekeeper:
+
+* schema-checks each document (schema id, version, content digest —
+  any post-export edit fails the digest check);
+* requires the telemetry wall-time key the trajectory is built on;
+* aggregates one summary line per document.
+
+CI runs ``--check`` so a malformed or hand-edited BENCH file fails the
+build.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/trajectory.py            # summarize
+    PYTHONPATH=src python benchmarks/trajectory.py --check    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.validation import export
+
+#: Telemetry keys accepted as the document's headline wall time.
+WALL_KEYS = ("driver_wall_s", "wall_s")
+
+
+def validate_document(path: Path) -> tuple[dict, list[str]]:
+    """Load one BENCH document; return (document, problems)."""
+    problems: list[str] = []
+    try:
+        document = export.load_experiment_json(path)
+    except ValidationError as error:
+        return {}, [str(error)]
+    experiment = document.get("experiment") or {}
+    if not experiment.get("experiment_id"):
+        problems.append("experiment section has no experiment_id")
+    if not experiment.get("rows"):
+        problems.append("experiment section has no rows")
+    telemetry = document.get("telemetry")
+    if not isinstance(telemetry, dict):
+        problems.append("missing telemetry section")
+    elif _wall_time(telemetry) is None:
+        problems.append(
+            "telemetry lacks a wall-time key (one of "
+            f"{', '.join(WALL_KEYS)}, or per-scenario wall_s)"
+        )
+    return document, problems
+
+
+def _wall_time(telemetry: dict):
+    """Headline wall time: a top-level key, or summed scenario walls."""
+    for key in WALL_KEYS:
+        if isinstance(telemetry.get(key), (int, float)):
+            return telemetry[key]
+    scenarios = telemetry.get("scenarios")
+    if isinstance(scenarios, dict) and scenarios:
+        walls = [
+            entry.get("wall_s")
+            for entry in scenarios.values()
+            if isinstance(entry, dict)
+        ]
+        if walls and all(isinstance(wall, (int, float)) for wall in walls):
+            return sum(walls)
+    return None
+
+
+def summarize(path: Path, document: dict) -> str:
+    experiment = document.get("experiment") or {}
+    telemetry = document.get("telemetry") or {}
+    wall = _wall_time(telemetry)
+    wall_text = f"{wall:.2f}s" if isinstance(wall, (int, float)) else "n/a"
+    digest = (document.get("manifest") or {}).get("content_digest", "")
+    return (
+        f"{path.name}: {experiment.get('experiment_id', '?')} — "
+        f"{len(experiment.get('rows', []))} row(s), wall {wall_text}, "
+        f"digest {digest[:12]}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", metavar="bench.json",
+        help="documents to check (default: BENCH_*.json in --root)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="directory scanned for BENCH_*.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on any invalid or missing document (CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.paths:
+        paths = [Path(path) for path in args.paths]
+    else:
+        paths = sorted(Path(args.root).glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json documents under {args.root}", file=sys.stderr)
+        return 1 if args.check else 0
+
+    failures = 0
+    for path in paths:
+        document, problems = validate_document(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"FAIL {path.name}: {problem}", file=sys.stderr)
+            continue
+        print(summarize(path, document))
+    print(
+        f"{len(paths) - failures}/{len(paths)} document(s) valid",
+        file=sys.stderr if failures else sys.stdout,
+    )
+    return 1 if (failures and args.check) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

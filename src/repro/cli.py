@@ -25,12 +25,18 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from repro.errors import FaultPlanError, InvariantViolation
+from repro.errors import (
+    FaultPlanError,
+    InvariantViolation,
+    RunInterrupted,
+    ValidationError,
+)
 from repro.faults import FaultPlan, clear_active_faults, set_active_faults
 from repro.hw.arch import arch_by_name
 from repro.quartz.calibration import calibrate_arch
 from repro.validation import export
 from repro.validation.experiments import REGISTRY
+from repro.validation.experiments.sweeps import SWEEP_PRESETS
 from repro.validation.reporting import render_table
 from repro.validation.runner import (
     close_trace_out,
@@ -182,6 +188,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the rendered output (current --format) to a file",
     )
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help=(
+            "streaming, checkpointed sweep orchestration for large run "
+            "grids (journal + resume-after-crash)"
+        ),
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="start a journaled sweep of a preset grid"
+    )
+    sweep_run.add_argument(
+        "preset", choices=sorted(SWEEP_PRESETS), metavar="preset",
+        help=f"sweep preset ({', '.join(sorted(SWEEP_PRESETS))})",
+    )
+    sweep_run.add_argument(
+        "--scale", default="small",
+        help="grid scale preset (smoke/small/large; default: small)",
+    )
+    sweep_resume = sweep_sub.add_parser(
+        "resume",
+        help=(
+            "resume an interrupted sweep: verified checkpoints are "
+            "reused, only unfinished specs re-execute"
+        ),
+    )
+    sweep_status_p = sweep_sub.add_parser(
+        "status", help="print a sweep directory's progress"
+    )
+    for sub in (sweep_run, sweep_resume, sweep_status_p):
+        sub.add_argument(
+            "--dir", required=True, dest="sweep_dir",
+            help="sweep directory (journal.jsonl + results.jsonl)",
+        )
+    for sub in (sweep_run, sweep_resume):
+        sub.add_argument(
+            "--jobs", type=int,
+            help=(
+                "worker processes (default: QUARTZ_REPRO_JOBS or all "
+                "cores; results are identical for any job count)"
+            ),
+        )
+        sub.add_argument(
+            "--format", choices=("table", "json"), default="table",
+            help="output format (default: table)",
+        )
+        sub.add_argument(
+            "-o", "--output", "--out", dest="output",
+            help="also write the rendered output (current --format) to a file",
+        )
+        sub.add_argument(
+            "--interrupt-after", type=int, default=None,
+            help=(
+                "deterministic crash point: interrupt the sweep after N "
+                "fresh completions are checkpointed (exit 130; used by "
+                "the resume tests and CI smoke)"
+            ),
+        )
+
     trace = subparsers.add_parser(
         "trace", help="inspect a JSONL epoch trace (--trace-out output)"
     )
@@ -321,6 +386,12 @@ def _run_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    except RunInterrupted as interrupt:
+        stats = consume_run_stats()
+        print(f"interrupted: {interrupt}", file=sys.stderr)
+        if stats is not None and stats.runs:
+            print(stats.summary(), file=sys.stderr)
+        return 130
     wall_s = time.perf_counter() - started
     stats = consume_run_stats()
     if args.format == "json":
@@ -430,6 +501,104 @@ def _crash_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand family: run / resume / status.
+
+    Exit codes: 0 on a completed sweep, 2 on a misconfigured one
+    (unknown scale, journal/grid mismatch, fresh ``run`` into a used
+    directory), 130 when interrupted — with every completed spec
+    checkpointed and a resume hint printed.
+    """
+    from repro.validation.experiments.sweeps import (
+        resume_sweep,
+        start_sweep,
+        sweep_status,
+    )
+
+    if args.sweep_command == "status":
+        try:
+            status = sweep_status(args.sweep_dir)
+        except ValidationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"sweep: {status['name']} (knobs: {status['knobs']})")
+        print(
+            f"progress: {status['done']}/{status['total']} spec(s) "
+            f"checkpointed, {status['remaining']} remaining"
+        )
+        print(f"grid digest: {status['grid_digest']}")
+        print(f"journal: {status['journal']}")
+        return 0
+
+    info = sys.stderr if args.format == "json" else sys.stdout
+    jobs = args.jobs if args.jobs else default_cli_jobs()
+    reset_run_stats()
+    started = time.perf_counter()
+    try:
+        if args.sweep_command == "run":
+            sweep_run = start_sweep(
+                args.preset,
+                args.scale,
+                args.sweep_dir,
+                jobs=jobs,
+                interrupt_after=args.interrupt_after,
+            )
+        else:
+            sweep_run = resume_sweep(
+                args.sweep_dir,
+                jobs=jobs,
+                interrupt_after=args.interrupt_after,
+            )
+    except RunInterrupted as interrupt:
+        stats = consume_run_stats()
+        print(f"sweep interrupted: {interrupt}", file=sys.stderr)
+        if stats is not None:
+            print(stats.summary(), file=sys.stderr)
+        print(
+            f"resume with: quartz-repro sweep resume --dir {args.sweep_dir}",
+            file=sys.stderr,
+        )
+        return 130
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    wall_s = time.perf_counter() - started
+    stats = consume_run_stats()
+    if args.format == "json":
+        document = export.build_document(
+            sweep_run.result,
+            export.build_manifest(
+                stats=stats,
+                knobs={
+                    "command": "sweep",
+                    "preset": sweep_run.preset,
+                    "scale": sweep_run.scale,
+                },
+            ),
+            telemetry=stats.telemetry() if stats is not None else None,
+        )
+        rendered = export.dumps_document(document)
+    else:
+        rendered = render_table(sweep_run.result) + "\n"
+    sys.stdout.write(rendered)
+    report = sweep_run.report
+    print(
+        f"\nsweep {sweep_run.preset} ({sweep_run.scale}): "
+        f"{report.total} spec(s), {report.executed} executed, "
+        f"{report.skipped} reused from checkpoints"
+        f"{f', {report.tampered} tampered record(s) re-run' if report.tampered else ''} "
+        f"in {wall_s:.1f}s wall",
+        file=info,
+    )
+    if stats is not None and stats.runs:
+        print(stats.summary(), file=info)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"written to {args.output}", file=info)
+    return 0
+
+
 def _list_experiments() -> int:
     print("available experiments (see DESIGN.md for the paper mapping):")
     for name in sorted(REGISTRY):
@@ -477,6 +646,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _crash_check(args)
     if args.command == "calibrate":
         return _calibrate(args)
+    if args.command == "sweep":
+        return _sweep(args)
     if args.command == "trace":
         return _trace_summarize(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -74,6 +74,24 @@ class InvariantViolation(ReproError):
         super().__init__(rendered)
 
 
+class RunInterrupted(ReproError):
+    """A run grid or sweep stopped before every spec finished.
+
+    Raised by the runner when a fan-out is cut short (Ctrl-C, a worker
+    pool breaking mid-sweep, or a deterministic ``interrupt_after`` test
+    crash point).  Completed work is never lost: the partial
+    :class:`~repro.validation.runner.RunnerStats` (stop reason
+    ``"interrupted"``) is already recorded when this propagates, and a
+    checkpointed sweep has journaled every finished spec.  ``completed``
+    and ``total`` let callers print progress without parsing the message.
+    """
+
+    def __init__(self, message: str, completed: int = 0, total: int = 0):
+        self.completed = completed
+        self.total = total
+        super().__init__(message)
+
+
 class WorkloadError(ReproError):
     """A benchmark workload was configured incorrectly."""
 

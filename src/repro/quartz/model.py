@@ -84,7 +84,11 @@ def eq3_ldm_stall(
                 "counter feed"
             )
         return 0.0
-    return l2_pending_stall_cycles * weighted_misses / denominator
+    # Ratio first: the quotient of weighted misses over the denominator
+    # is exact at 1.0 when hits are zero, and always <= 1 — multiplying
+    # stalls by a subnormal numerator first can round *up* in the
+    # subnormal grid and report more memory stall than was measured.
+    return l2_pending_stall_cycles * (weighted_misses / denominator)
 
 
 def eq4_remote_stall_split(

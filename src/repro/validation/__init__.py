@@ -9,12 +9,20 @@ the numactl analogue).  Emulation error compares the two.
 DESIGN.md's experiment index.  ``repro.validation.runner`` executes
 declarative grids of runs (:class:`RunSpec`), optionally across worker
 processes, with byte-identical results for any job count.
+``repro.validation.sweep`` layers a streaming, checkpointed work queue
+on top (journaled resume-after-crash, same digest guarantee).
 """
 
 from repro.validation.configs import RunOutcome, run_conf1, run_conf2, run_native
 from repro.validation.metrics import TrialStats, relative_error, summarize
 from repro.validation.reporting import ExperimentResult, render_table
 from repro.validation.runner import RunResult, RunSpec, RunnerStats, run_specs
+from repro.validation.sweep import (
+    SweepJournal,
+    SweepReport,
+    run_sweep,
+    spec_fingerprint,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -22,6 +30,8 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "RunnerStats",
+    "SweepJournal",
+    "SweepReport",
     "TrialStats",
     "relative_error",
     "render_table",
@@ -29,5 +39,7 @@ __all__ = [
     "run_conf2",
     "run_native",
     "run_specs",
+    "run_sweep",
+    "spec_fingerprint",
     "summarize",
 ]

@@ -41,6 +41,12 @@ from repro.validation.experiments.tiers import (
     run_migration_policy,
     run_tier_sweep,
 )
+from repro.validation.experiments.sweeps import (
+    SWEEP_PRESETS,
+    run_latency_grid,
+    run_migration_grid,
+    run_tier_grid,
+)
 
 #: CLI name -> experiment driver.
 REGISTRY = {
@@ -69,8 +75,13 @@ REGISTRY = {
     "crash-check": run_crash_check,
     "tier-sweep": run_tier_sweep,
     "migration-policy": run_migration_policy,
+    # Streaming sweep grids (see repro.validation.sweep): the same
+    # presets `quartz-repro sweep` checkpoints, run inline.
+    "sweep-latency-grid": run_latency_grid,
+    "sweep-tier-grid": run_tier_grid,
+    "sweep-migration-grid": run_migration_grid,
 }
 
-__all__ = ["REGISTRY"] + sorted(
+__all__ = ["REGISTRY", "SWEEP_PRESETS"] + sorted(
     name for name in dir() if name.startswith("run_")
 )

@@ -148,6 +148,9 @@ FAST_KWARGS: dict[str, Callable[[], dict]] = {
         "elements_per_tier": 10_000,
         "promote_threshold_accesses": 4_000,
     },
+    "sweep-latency-grid": lambda: {"scale": "smoke"},
+    "sweep-tier-grid": lambda: {"scale": "smoke"},
+    "sweep-migration-grid": lambda: {"scale": "smoke"},
 }
 
 

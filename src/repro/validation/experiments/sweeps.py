@@ -1,0 +1,481 @@
+"""Sweep presets: the thousand-config grids behind ``quartz-repro sweep``.
+
+The tier/migration experiments (PR 6) and the latency studies generate
+exactly the grid shapes the ROADMAP's orchestration item anticipates —
+hundreds to thousands of :class:`~repro.validation.runner.RunSpec`\\ s per
+study.  A :class:`SweepPreset` packages one such grid declaratively:
+how to build the specs for a named scale (``smoke``/``small``/``large``),
+and how to turn each finished run into one result row.  The sweep engine
+(:mod:`repro.validation.sweep`) streams the rows out in submission
+order, so a preset's :class:`~repro.validation.reporting.ExperimentResult`
+— and its export digest — is byte-identical whether the grid ran on one
+job, on N jobs, or across an interrupt/resume boundary.
+
+Each preset is also registered as a plain experiment driver
+(``sweep-latency-grid`` …), so the grids run inline — no journal —
+through the ordinary ``quartz-repro run`` path, the fast presets, and
+the registry-wide export/fault test sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.errors import ValidationError
+from repro.hw.arch import IVY_BRIDGE
+from repro.quartz.calibration import calibrate_arch
+from repro.quartz.config import EmulationMode, QuartzConfig
+from repro.quartz.tiers import MemoryTier
+from repro.units import MILLISECOND
+from repro.validation.reporting import ExperimentResult
+from repro.validation.runner import RunResult, RunSpec
+from repro.validation.sweep import (
+    SweepJournal,
+    SweepReport,
+    run_sweep,
+    spec_fingerprint,
+)
+
+#: Seed base for sweep grids (distinct from the figure experiments).
+_GRID_SEED = 900
+
+#: Base 3-tier read/write ladder the tier grids scale (ns).
+_BASE_LADDER = ((250.0, 350.0), (400.0, 600.0), (700.0, 1100.0))
+
+
+@dataclass(frozen=True)
+class SweepPreset:
+    """One named grid: spec builder plus per-spec row projection."""
+
+    name: str
+    title: str
+    columns: tuple
+    scales: tuple
+    build: Callable[[str], list]
+    row: Callable[[RunSpec, RunResult], dict]
+    notes: tuple = ()
+
+
+def _scale_kwargs(preset_name: str, scales: dict, scale: str) -> dict:
+    if scale not in scales:
+        raise ValidationError(
+            f"unknown scale {scale!r} for sweep preset {preset_name!r} "
+            f"(choose from {', '.join(sorted(scales))})"
+        )
+    return scales[scale]
+
+
+# ----------------------------------------------------------------------
+# latency-grid: MemLat across target latency x epoch length x seed
+# ----------------------------------------------------------------------
+
+_LATENCY_SCALES = {
+    "smoke": dict(
+        latencies=(300.0, 500.0), epochs_us=(100.0,), seeds=2,
+        iterations=2_000,
+    ),
+    "small": dict(
+        latencies=(200.0, 300.0, 400.0, 500.0, 700.0),
+        epochs_us=(100.0, 500.0), seeds=12, iterations=2_000,
+    ),
+    "large": dict(
+        latencies=(
+            200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 850.0, 1000.0,
+            1300.0, 1700.0,
+        ),
+        epochs_us=(100.0, 200.0, 500.0, 1000.0, 2000.0),
+        seeds=11, iterations=2_000,
+    ),
+}
+
+
+def _build_latency_grid(scale: str) -> list:
+    from repro.workloads.memlat import MemLatConfig
+
+    kwargs = _scale_kwargs("latency-grid", _LATENCY_SCALES, scale)
+    specs = []
+    for target_ns in kwargs["latencies"]:
+        for epoch_us in kwargs["epochs_us"]:
+            for seed_offset in range(kwargs["seeds"]):
+                specs.append(
+                    RunSpec(
+                        workload="memlat",
+                        config=MemLatConfig(iterations=kwargs["iterations"]),
+                        arch_name=IVY_BRIDGE.name,
+                        mode="conf1",
+                        seed=_GRID_SEED + seed_offset,
+                        quartz=QuartzConfig(
+                            nvm_read_latency_ns=target_ns,
+                            max_epoch_ns=epoch_us * 1e3,
+                        ),
+                    )
+                )
+    return specs
+
+
+def _latency_grid_row(spec: RunSpec, result: RunResult) -> dict:
+    target_ns = spec.quartz.nvm_read_latency_ns
+    measured_ns = result.workload_result.measured_latency_ns
+    return {
+        "arch": spec.arch_name,
+        "target_ns": target_ns,
+        "epoch_us": spec.quartz.max_epoch_ns / 1e3,
+        "seed": spec.seed,
+        "measured_ns": measured_ns,
+        "error_pct": 100.0 * abs(measured_ns - target_ns) / target_ns,
+        "events": result.events,
+    }
+
+
+# ----------------------------------------------------------------------
+# tier-grid: tiered MultiLat across ladder scale factor x seed
+# ----------------------------------------------------------------------
+
+_TIER_SCALES = {
+    "smoke": dict(factors=(1.0, 2.0), seeds=2, elements=3_000),
+    "small": dict(
+        factors=(1.0, 1.25, 1.5, 2.0, 2.5, 3.0), seeds=6, elements=3_000
+    ),
+    "large": dict(
+        factors=(
+            1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 2.8, 3.2, 3.6, 4.0, 4.5
+        ),
+        seeds=18, elements=3_000,
+    ),
+}
+
+
+def _scaled_tiers(factor: float, dram_local_ns: float) -> tuple:
+    tiers = [MemoryTier("dram", dram_local_ns, dram_local_ns)]
+    for index, (read_ns, write_ns) in enumerate(_BASE_LADDER):
+        tiers.append(
+            MemoryTier(
+                f"tier{index + 1}", read_ns * factor, write_ns * factor
+            )
+        )
+    return tuple(tiers)
+
+
+def _build_tier_grid(scale: str) -> list:
+    from repro.workloads.multilat import MultiLatConfig
+
+    kwargs = _scale_kwargs("tier-grid", _TIER_SCALES, scale)
+    calibration = calibrate_arch(IVY_BRIDGE)
+    elements = kwargs["elements"]
+    specs = []
+    for factor in kwargs["factors"]:
+        tiers = _scaled_tiers(factor, calibration.dram_local_ns)
+        config = QuartzConfig(
+            mode=EmulationMode.MULTI_TIER,
+            tiers=tiers,
+            placement_policy="static",
+            placement_order=tuple(range(1, len(_BASE_LADDER) + 1)),
+            max_epoch_ns=1.0 * MILLISECOND,
+        )
+        workload = MultiLatConfig(
+            dram_elements=elements,
+            tier_elements=(elements,) * len(_BASE_LADDER),
+        )
+        for seed_offset in range(kwargs["seeds"]):
+            specs.append(
+                RunSpec(
+                    workload="multilat", config=workload,
+                    arch_name=IVY_BRIDGE.name, mode="conf1",
+                    seed=_GRID_SEED + seed_offset, quartz=config,
+                )
+            )
+    return specs
+
+
+def _tier_grid_row(spec: RunSpec, result: RunResult) -> dict:
+    tiers = spec.quartz.tiers
+    dram_local_ns = tiers[0].read_latency_ns
+    read_targets = tuple(tier.read_latency_ns for tier in tiers[1:])
+    error = result.workload_result.tiered_emulation_error(
+        dram_local_ns, read_targets
+    )
+    return {
+        "arch": spec.arch_name,
+        "tiers": len(tiers),
+        "read_targets_ns": "/".join(f"{ns:g}" for ns in read_targets),
+        "seed": spec.seed,
+        "completion_ms": result.workload_result.elapsed_ns / 1e6,
+        "error_pct": 100.0 * error,
+        "events": result.events,
+    }
+
+
+# ----------------------------------------------------------------------
+# migration-grid: placement policy x promote threshold x seed
+# ----------------------------------------------------------------------
+
+_MIGRATION_SCALES = {
+    "smoke": dict(thresholds=(2_000,), seeds=1, elements=3_000),
+    "small": dict(
+        thresholds=(500, 1_000, 2_000, 4_000), seeds=5, elements=3_000
+    ),
+    "large": dict(
+        thresholds=(250, 500, 750, 1_000, 1_500, 2_000, 3_000, 4_000),
+        seeds=24, elements=3_000,
+    ),
+}
+
+
+def _build_migration_grid(scale: str) -> list:
+    from repro.workloads.multilat import MultiLatConfig
+
+    kwargs = _scale_kwargs("migration-grid", _MIGRATION_SCALES, scale)
+    calibration = calibrate_arch(IVY_BRIDGE)
+    tiers = _scaled_tiers(1.0, calibration.dram_local_ns)
+    elements = kwargs["elements"]
+    workload = MultiLatConfig(
+        dram_elements=elements,
+        tier_elements=(elements,) * len(_BASE_LADDER),
+    )
+    # Threshold only means something to hot-promote; enumerating it for
+    # the static policies would just duplicate spec fingerprints.
+    cells = [("static", None), ("round-robin", None)]
+    cells.extend(
+        ("hot-promote", threshold) for threshold in kwargs["thresholds"]
+    )
+    specs = []
+    for policy, threshold in cells:
+        policy_kwargs = (
+            {"promote_threshold_accesses": threshold}
+            if threshold is not None
+            else {}
+        )
+        config = QuartzConfig(
+            mode=EmulationMode.MULTI_TIER,
+            tiers=tiers,
+            placement_policy=policy,
+            max_epoch_ns=1.0 * MILLISECOND,
+            **policy_kwargs,
+        )
+        for seed_offset in range(kwargs["seeds"]):
+            specs.append(
+                RunSpec(
+                    workload="multilat", config=workload,
+                    arch_name=IVY_BRIDGE.name, mode="conf1",
+                    seed=_GRID_SEED + seed_offset, quartz=config,
+                )
+            )
+    return specs
+
+
+def _migration_grid_row(spec: RunSpec, result: RunResult) -> dict:
+    report = (
+        result.quartz_stats.tier_report if result.quartz_stats else None
+    ) or {"placements": {}, "migrations": 0, "migrated_bytes": 0}
+    threshold = spec.quartz.promote_threshold_accesses
+    return {
+        "arch": spec.arch_name,
+        "policy": spec.quartz.placement_policy,
+        "promote_threshold": (
+            threshold if spec.quartz.placement_policy == "hot-promote" else 0
+        ),
+        "seed": spec.seed,
+        "completion_ms": result.workload_result.elapsed_ns / 1e6,
+        "migrations": report["migrations"],
+        "migrated_mib": report["migrated_bytes"] / (1024 * 1024),
+    }
+
+
+# ----------------------------------------------------------------------
+# The preset registry
+# ----------------------------------------------------------------------
+
+SWEEP_PRESETS: dict[str, SweepPreset] = {
+    "latency-grid": SweepPreset(
+        name="latency-grid",
+        title="MemLat emulation error across a latency x epoch grid",
+        columns=(
+            "arch", "target_ns", "epoch_us", "seed", "measured_ns",
+            "error_pct", "events",
+        ),
+        scales=tuple(sorted(_LATENCY_SCALES)),
+        build=_build_latency_grid,
+        row=_latency_grid_row,
+        notes=(
+            "Conf_1 MemLat per cell; error vs the injected target "
+            "latency",
+        ),
+    ),
+    "tier-grid": SweepPreset(
+        name="tier-grid",
+        title="Tiered MultiLat error across ladder scale factors",
+        columns=(
+            "arch", "tiers", "read_targets_ns", "seed", "completion_ms",
+            "error_pct", "events",
+        ),
+        scales=tuple(sorted(_TIER_SCALES)),
+        build=_build_tier_grid,
+        row=_tier_grid_row,
+        notes=(
+            "base 3-tier ladder scaled per cell; error vs the N-tier "
+            "closed form (static placement, one array per tier)",
+        ),
+    ),
+    "migration-grid": SweepPreset(
+        name="migration-grid",
+        title="Placement policies x promote thresholds on an N-tier machine",
+        columns=(
+            "arch", "policy", "promote_threshold", "seed", "completion_ms",
+            "migrations", "migrated_mib",
+        ),
+        scales=tuple(sorted(_MIGRATION_SCALES)),
+        build=_build_migration_grid,
+        row=_migration_grid_row,
+        notes=(
+            "same tiered MultiLat per cell; thresholds enumerate only "
+            "under hot-promote (other policies ignore them)",
+        ),
+    ),
+}
+
+
+def get_sweep_preset(name: str) -> SweepPreset:
+    if name not in SWEEP_PRESETS:
+        raise ValidationError(
+            f"unknown sweep preset: {name!r} "
+            f"(choose from {', '.join(sorted(SWEEP_PRESETS))})"
+        )
+    return SWEEP_PRESETS[name]
+
+
+# ----------------------------------------------------------------------
+# Execution: journaled (CLI sweep) and inline (registry drivers)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SweepRun:
+    """One journaled sweep invocation's outcome."""
+
+    preset: str
+    scale: str
+    result: ExperimentResult
+    report: SweepReport
+
+
+def _execute_preset(
+    preset: SweepPreset,
+    scale: str,
+    specs: Sequence[RunSpec],
+    journal: Optional[SweepJournal],
+    jobs: Optional[int],
+    interrupt_after: Optional[int] = None,
+) -> tuple[ExperimentResult, SweepReport]:
+    result = ExperimentResult(
+        experiment_id=f"sweep-{preset.name}",
+        title=preset.title,
+        columns=list(preset.columns),
+    )
+
+    def consume(spec: RunSpec, run: RunResult) -> None:
+        result.add_row(**preset.row(spec, run))
+
+    report = run_sweep(
+        specs,
+        journal=journal,
+        jobs=jobs,
+        consume=consume,
+        interrupt_after=interrupt_after,
+    )
+    for note in preset.notes:
+        result.note(note)
+    result.note(f"scale={scale}; {len(specs)} spec(s) in grid")
+    return result, report
+
+
+def start_sweep(
+    preset_name: str,
+    scale: str,
+    directory: Union[str, Path],
+    jobs: Optional[int] = None,
+    interrupt_after: Optional[int] = None,
+) -> SweepRun:
+    """Create a journal in *directory* and run the preset's grid."""
+    preset = get_sweep_preset(preset_name)
+    specs = preset.build(scale)
+    journal = SweepJournal.create(
+        directory,
+        [spec_fingerprint(spec) for spec in specs],
+        name=preset_name,
+        knobs={"preset": preset_name, "scale": scale},
+    )
+    result, report = _execute_preset(
+        preset, scale, specs, journal, jobs, interrupt_after
+    )
+    return SweepRun(preset_name, scale, result, report)
+
+
+def resume_sweep(
+    directory: Union[str, Path],
+    jobs: Optional[int] = None,
+    interrupt_after: Optional[int] = None,
+) -> SweepRun:
+    """Resume a journaled sweep: verified checkpoints are reused, only
+    the remainder executes, and the merged result is byte-identical to
+    an uninterrupted run."""
+    journal = SweepJournal.open(directory)
+    knobs = journal.header.get("knobs", {})
+    preset_name = knobs.get("preset")
+    scale = knobs.get("scale")
+    if not preset_name or not scale:
+        raise ValidationError(
+            f"{journal.journal_path}: journal names no preset/scale; "
+            "cannot rebuild the grid"
+        )
+    preset = get_sweep_preset(preset_name)
+    specs = preset.build(scale)
+    result, report = _execute_preset(
+        preset, scale, specs, journal, jobs, interrupt_after
+    )
+    return SweepRun(preset_name, scale, result, report)
+
+
+def sweep_status(directory: Union[str, Path]) -> dict:
+    """Progress snapshot of a journaled sweep directory."""
+    journal = SweepJournal.open(directory)
+    try:
+        return journal.status()
+    finally:
+        journal.close()
+
+
+# ----------------------------------------------------------------------
+# Registry drivers (inline, no journal)
+# ----------------------------------------------------------------------
+
+
+def _run_inline(
+    preset_name: str, scale: str, jobs: Optional[int]
+) -> ExperimentResult:
+    preset = get_sweep_preset(preset_name)
+    specs = preset.build(scale)
+    result, _ = _execute_preset(preset, scale, specs, None, jobs)
+    return result
+
+
+def run_latency_grid(
+    scale: str = "small", jobs: Optional[int] = None
+) -> ExperimentResult:
+    """MemLat error over a latency x epoch grid (streaming sweep)."""
+    return _run_inline("latency-grid", scale, jobs)
+
+
+def run_tier_grid(
+    scale: str = "small", jobs: Optional[int] = None
+) -> ExperimentResult:
+    """Tiered MultiLat error across ladder scale factors (sweep)."""
+    return _run_inline("tier-grid", scale, jobs)
+
+
+def run_migration_grid(
+    scale: str = "small", jobs: Optional[int] = None
+) -> ExperimentResult:
+    """Placement policy x threshold study as a streaming sweep."""
+    return _run_inline("migration-grid", scale, jobs)

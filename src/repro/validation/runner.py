@@ -26,16 +26,20 @@ import os
 import pickle
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from repro.errors import ValidationError
+from repro.errors import RunInterrupted, ValidationError
 from repro.faults.context import get_active_faults
 from repro.faults.plan import FaultPlan
 from repro.hw.arch import arch_by_name
-from repro.quartz.calibration import cache_counters, calibrate_arch
+from repro.quartz.calibration import (
+    arch_fingerprint,
+    cache_counters,
+    calibrate_arch,
+)
 from repro.quartz.config import QuartzConfig
 from repro.quartz.stats import QuartzStats
 from repro.validation.configs import (
@@ -290,41 +294,99 @@ def default_cli_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _prewarm_calibrations(specs: Sequence[RunSpec]) -> None:
+def _prewarm_calibrations(specs: Sequence[RunSpec]) -> int:
     """Calibrate every testbed a grid needs, once, in the parent.
 
     Fork-started workers inherit the in-memory cache; spawn-started ones
-    read the disk cache.  Either way no worker re-measures.
+    read the disk cache.  Either way no worker re-measures.  Deduping is
+    by *calibration fingerprint* — ``(arch_fingerprint, seed)`` — so a
+    thousand-spec grid whose specs alias the same physical testbed under
+    different names still warms it exactly once.  Returns the number of
+    unique calibrations warmed.
     """
-    needed = {
-        (spec.arch_name, spec.calibration_seed)
-        for spec in specs
-        if spec.mode in ("conf1", "crash")
-    }
-    for arch_name, calibration_seed in sorted(needed):
+    fingerprints: dict[str, str] = {}
+    needed: dict[tuple[str, int], tuple[str, int]] = {}
+    for spec in specs:
+        if spec.mode not in ("conf1", "crash"):
+            continue
+        fingerprint = fingerprints.get(spec.arch_name)
+        if fingerprint is None:
+            fingerprint = arch_fingerprint(arch_by_name(spec.arch_name))
+            fingerprints[spec.arch_name] = fingerprint
+        needed.setdefault(
+            (fingerprint, spec.calibration_seed),
+            (spec.arch_name, spec.calibration_seed),
+        )
+    for key in sorted(needed):
+        arch_name, calibration_seed = needed[key]
         calibrate_arch(arch_by_name(arch_name), seed=calibration_seed)
+    return len(needed)
+
+
+def _completed_results(futures: Sequence) -> list[RunResult]:
+    """Harvest every future that finished cleanly (post-interrupt)."""
+    results = []
+    for future in futures:
+        if future.done() and not future.cancelled():
+            try:
+                if future.exception() is None:
+                    results.append(future.result())
+            except Exception:  # racing cancellation; nothing to keep
+                pass
+    return results
 
 
 def _run_parallel(
     payloads: list[tuple[int, RunSpec]], jobs: int
 ) -> Optional[list[RunResult]]:
-    """Fan out over a process pool; ``None`` means "pool unavailable"."""
+    """Fan out over a process pool; ``None`` means "pool unavailable".
+
+    Each payload is submitted as its own future (work-queue scheduling:
+    an idle worker always pulls the next pending spec, so one straggler
+    never idles a chunk's worth of workers).  A ``KeyboardInterrupt`` or
+    a pool breaking *mid-sweep* cancels every pending future and raises
+    :class:`~repro.errors.RunInterrupted` carrying the results that did
+    finish — the caller records partial stats instead of losing them.
+    """
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-            return list(pool.map(_run_one, payloads))
-    except (
-        BrokenProcessPool,
-        NotImplementedError,
-        OSError,
-        PermissionError,
-        pickle.PicklingError,
-    ) as error:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)))
+    except (NotImplementedError, OSError, PermissionError) as error:
         print(
             f"note: process pool unavailable ({error!r}); "
             "running in-process",
             file=sys.stderr,
         )
         return None
+    futures: list = []
+    try:
+        futures = [pool.submit(_run_one, payload) for payload in payloads]
+        results = []
+        for future in as_completed(futures):
+            results.append(future.result())
+    except (KeyboardInterrupt, BrokenProcessPool) as error:
+        for future in futures:
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        completed = _completed_results(futures)
+        interrupt = RunInterrupted(
+            f"run grid interrupted ({type(error).__name__}) after "
+            f"{len(completed)} of {len(payloads)} run(s)",
+            completed=len(completed),
+            total=len(payloads),
+        )
+        interrupt.results = completed
+        raise interrupt from error
+    except pickle.PicklingError as error:
+        pool.shutdown(wait=True, cancel_futures=True)
+        print(
+            f"note: process pool unavailable ({error!r}); "
+            "running in-process",
+            file=sys.stderr,
+        )
+        return None
+    else:
+        pool.shutdown()
+        return results
 
 
 # ----------------------------------------------------------------------
@@ -381,6 +443,20 @@ class RunnerStats:
     calib_memory_hits: int = 0
     calib_disk_hits: int = 0
     calib_measurements: int = 0
+    #: How the accumulation window ended: ``"completed"`` normally,
+    #: ``"interrupted"`` when a grid/sweep was cut short (Ctrl-C, broken
+    #: pool, deterministic crash point) with only partial results.
+    stop_reason: str = "completed"
+    #: Per-run wall times (seconds), one entry per executed run — the
+    #: raw series behind the p50/p99 tail summary.
+    run_wall_times: list = field(default_factory=list)
+    #: Sweep-orchestration counters (zero outside ``run_sweep``): the
+    #: work queue's high-water mark of submitted-but-unfinished specs,
+    #: specs satisfied from a checkpoint journal without re-execution,
+    #: and the streaming merge's peak count of buffered result rows.
+    queue_depth: int = 0
+    specs_skipped: int = 0
+    stream_merge_peak_rows: int = 0
     #: Provenance of the grid (deterministic for any job count): which
     #: testbeds, workloads, modes, and seeds the runs covered.  These
     #: feed the exported :class:`~repro.validation.export.RunManifest`.
@@ -419,6 +495,24 @@ class RunnerStats:
             return None
         return self.events / self.run_wall_s
 
+    def wall_percentile(self, fraction: float) -> Optional[float]:
+        """Nearest-rank percentile of the per-run wall times (seconds)."""
+        if not self.run_wall_times:
+            return None
+        ordered = sorted(self.run_wall_times)
+        rank = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def wall_p50_s(self) -> Optional[float]:
+        """Median per-run wall time (tail visibility for uneven grids)."""
+        return self.wall_percentile(0.50)
+
+    @property
+    def wall_p99_s(self) -> Optional[float]:
+        """99th-percentile per-run wall time."""
+        return self.wall_percentile(0.99)
+
     def summary(self) -> str:
         """The CLI summary line."""
         rate = self.events_per_sec
@@ -431,6 +525,17 @@ class RunnerStats:
             f"({self.calib_memory_hits} memory / {self.calib_disk_hits} disk), "
             f"{self.calib_measurements} measurements"
         )
+        p50, p99 = self.wall_p50_s, self.wall_p99_s
+        if p50 is not None and p99 is not None:
+            line += f"; per-run wall p50/p99: {p50 * 1e3:.1f}/{p99 * 1e3:.1f}ms"
+        if self.queue_depth or self.specs_skipped:
+            line += (
+                f"; sweep: queue depth {self.queue_depth}, "
+                f"{self.specs_skipped} spec(s) skipped via checkpoint, "
+                f"peak {self.stream_merge_peak_rows} buffered row(s)"
+            )
+        if self.stop_reason != "completed":
+            line += f"; stopped: {self.stop_reason}"
         if self.fault_injections:
             line += f"; faults: {self.faults_injected} injection(s)"
         if self.invariant_epoch_checks or self.invariant_sim_checks:
@@ -459,15 +564,24 @@ class RunnerStats:
             "jobs": self.jobs,
             "wall_s": self.wall_s,
             "run_wall_s": self.run_wall_s,
+            "wall_p50_s": self.wall_p50_s,
+            "wall_p99_s": self.wall_p99_s,
             "events": self.events,
             "events_per_sec": self.events_per_sec,
             "sim_ns": self.sim_ns,
+            "stop_reason": self.stop_reason,
             "calibration_cache": {
                 "memory_hits": self.calib_memory_hits,
                 "disk_hits": self.calib_disk_hits,
                 "measurements": self.calib_measurements,
             },
         }
+        if self.queue_depth or self.specs_skipped:
+            payload["sweep"] = {
+                "queue_depth": self.queue_depth,
+                "specs_skipped": self.specs_skipped,
+                "stream_merge_peak_rows": self.stream_merge_peak_rows,
+            }
         if self.fault_injections:
             payload["faults"] = {
                 "injections": dict(sorted(self.fault_injections.items())),
@@ -505,49 +619,73 @@ def consume_run_stats() -> Optional[RunnerStats]:
     return stats
 
 
+def _ensure_stats(jobs: int) -> RunnerStats:
+    """The live accumulation window, created on first use.
+
+    Shared by :func:`run_specs` and the sweep engine
+    (:mod:`repro.validation.sweep`), which accumulates result-by-result
+    while streaming instead of holding a result list.
+    """
+    global _run_stats
+    if _run_stats is None:
+        _run_stats = RunnerStats(jobs=jobs)
+    _run_stats.jobs = max(_run_stats.jobs, jobs)
+    return _run_stats
+
+
+def _record_spec(stats: RunnerStats, spec: RunSpec) -> None:
+    """Fold one spec's provenance into the manifest-feeding sets."""
+    stats.arch_names.add(spec.arch_name)
+    stats.workloads.add(spec.workload)
+    stats.modes.add(spec.mode)
+    stats.seeds.add(spec.seed)
+    if spec.mode == "conf1":
+        stats.calibration_seeds.add(spec.calibration_seed)
+
+
+def _record_result(stats: RunnerStats, result: RunResult) -> None:
+    """Fold one executed run's counters into the window."""
+    stats.runs += 1
+    stats.run_wall_s += result.wall_s
+    stats.run_wall_times.append(result.wall_s)
+    stats.events += result.events
+    stats.sim_ns += result.elapsed_ns
+    stats.calib_memory_hits += result.calib_memory_hits
+    stats.calib_disk_hits += result.calib_disk_hits
+    stats.calib_measurements += result.calib_measurements
+    for kind, count in result.fault_injections.items():
+        stats.fault_injections[kind] = (
+            stats.fault_injections.get(kind, 0) + count
+        )
+    stats.invariant_epoch_checks += result.invariant_epoch_checks
+    stats.invariant_sim_checks += result.invariant_sim_checks
+    stats.invariant_violations += result.invariant_violations
+    stats.max_epoch_length_ns = max(
+        stats.max_epoch_length_ns, result.max_epoch_length_ns
+    )
+    if result.crash_report is not None:
+        stats.crash_points += result.crash_report.get("points", 0)
+        stats.crash_images_checked += result.crash_report.get("checked", 0)
+        stats.crash_violations += result.crash_report.get(
+            "violation_total", 0
+        )
+
+
 def _record_stats(
     specs: Sequence[RunSpec],
     results: Sequence[RunResult],
     jobs: int,
     wall_s: float,
+    stop_reason: str = "completed",
 ) -> None:
-    global _run_stats
-    if _run_stats is None:
-        _run_stats = RunnerStats(jobs=jobs)
-    stats = _run_stats
-    stats.jobs = max(stats.jobs, jobs)
+    stats = _ensure_stats(jobs)
     stats.wall_s += wall_s
+    if stop_reason != "completed":
+        stats.stop_reason = stop_reason
     for spec in specs:
-        stats.arch_names.add(spec.arch_name)
-        stats.workloads.add(spec.workload)
-        stats.modes.add(spec.mode)
-        stats.seeds.add(spec.seed)
-        if spec.mode == "conf1":
-            stats.calibration_seeds.add(spec.calibration_seed)
+        _record_spec(stats, spec)
     for result in results:
-        stats.runs += 1
-        stats.run_wall_s += result.wall_s
-        stats.events += result.events
-        stats.sim_ns += result.elapsed_ns
-        stats.calib_memory_hits += result.calib_memory_hits
-        stats.calib_disk_hits += result.calib_disk_hits
-        stats.calib_measurements += result.calib_measurements
-        for kind, count in result.fault_injections.items():
-            stats.fault_injections[kind] = (
-                stats.fault_injections.get(kind, 0) + count
-            )
-        stats.invariant_epoch_checks += result.invariant_epoch_checks
-        stats.invariant_sim_checks += result.invariant_sim_checks
-        stats.invariant_violations += result.invariant_violations
-        stats.max_epoch_length_ns = max(
-            stats.max_epoch_length_ns, result.max_epoch_length_ns
-        )
-        if result.crash_report is not None:
-            stats.crash_points += result.crash_report.get("points", 0)
-            stats.crash_images_checked += result.crash_report.get("checked", 0)
-            stats.crash_violations += result.crash_report.get(
-                "violation_total", 0
-            )
+        _record_result(stats, result)
 
 
 # ----------------------------------------------------------------------
@@ -582,12 +720,41 @@ def run_specs(
         payloads = list(enumerate(specs))
     started = time.perf_counter()
     results: Optional[list[RunResult]] = None
-    if jobs > 1 and len(payloads) > 1:
-        _prewarm_calibrations(specs)
-        results = _run_parallel(payloads, jobs)
-    if results is None:
-        jobs = 1
-        results = [_run_one(payload) for payload in payloads]
+    try:
+        if jobs > 1 and len(payloads) > 1:
+            _prewarm_calibrations(specs)
+            results = _run_parallel(payloads, jobs)
+        if results is None:
+            jobs = 1
+            results = []
+            for payload in payloads:
+                results.append(_run_one(payload))
+    except RunInterrupted as interrupt:
+        # Completed work is not lost: record the partial window (the CLI
+        # prints its summary) before letting the interrupt propagate.
+        partial = sorted(
+            getattr(interrupt, "results", []), key=lambda r: r.index
+        )
+        _record_stats(
+            specs, partial, jobs, time.perf_counter() - started,
+            stop_reason="interrupted",
+        )
+        raise
+    except KeyboardInterrupt as error:
+        # Ctrl-C during the in-process loop: everything before the
+        # current payload finished cleanly.
+        _record_stats(
+            specs, results or [], jobs, time.perf_counter() - started,
+            stop_reason="interrupted",
+        )
+        interrupt = RunInterrupted(
+            f"run grid interrupted (KeyboardInterrupt) after "
+            f"{len(results or [])} of {len(payloads)} run(s)",
+            completed=len(results or []),
+            total=len(payloads),
+        )
+        interrupt.results = list(results or [])
+        raise interrupt from error
     results.sort(key=lambda result: result.index)
     _record_stats(specs, results, jobs, time.perf_counter() - started)
     return results

@@ -249,3 +249,82 @@ def test_without_check_invariants_corruption_passes_silently(monkeypatch, capsys
         "run", "figure12", "--arch", "ivy-bridge", "--trials", "1",
         "--jobs", "1",
     ]) == 0
+
+
+# ----------------------------------------------------------------------
+# The sweep subcommand family
+# ----------------------------------------------------------------------
+
+
+def test_sweep_run_smoke_exits_zero(tmp_path, capsys):
+    assert main([
+        "sweep", "run", "latency-grid", "--scale", "smoke",
+        "--dir", str(tmp_path / "grid"), "--jobs", "1",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "4 spec(s), 4 executed" in captured.out
+    assert (tmp_path / "grid" / "journal.jsonl").exists()
+    assert (tmp_path / "grid" / "results.jsonl").exists()
+
+
+def test_sweep_interrupt_status_resume_roundtrip(tmp_path, capsys):
+    """The CI smoke in miniature: crash deterministically, inspect,
+    resume, and the resumed JSON document matches a fresh reference."""
+    import json
+
+    sweep_dir = str(tmp_path / "grid")
+    assert main([
+        "sweep", "run", "latency-grid", "--scale", "smoke",
+        "--dir", sweep_dir, "--jobs", "1", "--interrupt-after", "2",
+    ]) == 130
+    captured = capsys.readouterr()
+    assert "sweep interrupted" in captured.err
+    assert "sweep resume --dir" in captured.err
+
+    assert main(["sweep", "status", "--dir", sweep_dir]) == 0
+    assert "2/4 spec(s) checkpointed" in capsys.readouterr().out
+
+    resumed_path = tmp_path / "resumed.json"
+    assert main([
+        "sweep", "resume", "--dir", sweep_dir, "--jobs", "1",
+        "--format", "json", "-o", str(resumed_path),
+    ]) == 0
+    assert "2 reused from checkpoints" in capsys.readouterr().err
+
+    reference_path = tmp_path / "reference.json"
+    assert main([
+        "sweep", "run", "latency-grid", "--scale", "smoke",
+        "--dir", str(tmp_path / "ref"), "--jobs", "1",
+        "--format", "json", "-o", str(reference_path),
+    ]) == 0
+    capsys.readouterr()
+    resumed = json.loads(resumed_path.read_text())
+    reference = json.loads(reference_path.read_text())
+    assert (
+        resumed["manifest"]["content_digest"]
+        == reference["manifest"]["content_digest"]
+    )
+
+
+def test_sweep_run_refuses_existing_journal(tmp_path, capsys):
+    sweep_dir = str(tmp_path / "grid")
+    assert main([
+        "sweep", "run", "latency-grid", "--scale", "smoke",
+        "--dir", sweep_dir, "--jobs", "1",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "sweep", "run", "latency-grid", "--scale", "smoke",
+        "--dir", sweep_dir, "--jobs", "1",
+    ]) == 2
+    assert "already exists" in capsys.readouterr().err
+
+
+def test_sweep_status_missing_directory_exits_two(tmp_path, capsys):
+    assert main(["sweep", "status", "--dir", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sweep_unknown_preset_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "run", "no-such-grid", "--dir", str(tmp_path / "x")])

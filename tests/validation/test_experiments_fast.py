@@ -48,6 +48,8 @@ def test_registry_covers_every_paper_artefact():
         "crash-check",
         # The N-tier hybrid-memory generalization.
         "tier-sweep", "migration-policy",
+        # Streaming sweep grids (repro.validation.sweep presets).
+        "sweep-latency-grid", "sweep-tier-grid", "sweep-migration-grid",
     }
     assert set(REGISTRY) == expected
 

@@ -156,6 +156,104 @@ def test_single_spec_grid_stays_in_process():
 
 
 # ----------------------------------------------------------------------
+# Interrupt handling
+# ----------------------------------------------------------------------
+
+
+def test_sequential_interrupt_reports_partial_stats(monkeypatch):
+    from repro.errors import RunInterrupted
+
+    real_run_one = runner_module._run_one
+    calls = {"n": 0}
+
+    def interrupting_run_one(payload):
+        calls["n"] += 1
+        if calls["n"] == 3:
+            raise KeyboardInterrupt
+        return real_run_one(payload)
+
+    monkeypatch.setattr(runner_module, "_run_one", interrupting_run_one)
+    reset_run_stats()
+    specs = [_memlat_spec(seed) for seed in (1, 2, 3, 4)]
+    with pytest.raises(RunInterrupted) as excinfo:
+        run_specs(specs, jobs=1)
+    assert excinfo.value.completed == 2
+    assert excinfo.value.total == 4
+    assert [r.index for r in excinfo.value.results] == [0, 1]
+    stats = consume_run_stats()
+    assert stats.stop_reason == "interrupted"
+    assert stats.runs == 2
+    assert "stopped: interrupted" in stats.summary()
+    assert stats.telemetry()["stop_reason"] == "interrupted"
+
+
+def test_parallel_interrupt_cancels_and_reports(monkeypatch):
+    """A worker-pool collapse surfaces as RunInterrupted with partial
+    stats, not a traceback from the pool internals."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.errors import RunInterrupted
+
+    class CollapsingPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def submit(self, *args, **kwargs):
+            raise BrokenProcessPool("worker died")
+
+        def shutdown(self, *args, **kwargs):
+            pass
+
+    monkeypatch.setattr(
+        runner_module, "ProcessPoolExecutor", CollapsingPool
+    )
+    reset_run_stats()
+    specs = [_memlat_spec(seed) for seed in (1, 2, 3)]
+    with pytest.raises(RunInterrupted) as excinfo:
+        run_specs(specs, jobs=3)
+    assert excinfo.value.completed == 0
+    assert consume_run_stats().stop_reason == "interrupted"
+
+
+# ----------------------------------------------------------------------
+# Wall-time percentiles
+# ----------------------------------------------------------------------
+
+
+def test_wall_percentiles_nearest_rank():
+    stats = runner_module.RunnerStats(jobs=1)
+    stats.run_wall_times = [0.040, 0.010, 0.030, 0.020]
+    assert stats.wall_percentile(0.50) == 0.020
+    assert stats.wall_percentile(0.99) == 0.040
+    assert stats.wall_p50_s == 0.020
+    assert stats.wall_p99_s == 0.040
+
+
+def test_wall_percentiles_empty_window():
+    stats = runner_module.RunnerStats(jobs=1)
+    assert stats.wall_p50_s is None
+    assert stats.wall_p99_s is None
+    assert "per-run wall" not in stats.summary()
+
+
+def test_stats_summary_and_telemetry_carry_percentiles():
+    reset_run_stats()
+    run_specs([_memlat_spec(seed) for seed in (1, 2)], jobs=1)
+    stats = consume_run_stats()
+    assert len(stats.run_wall_times) == 2
+    assert "per-run wall p50/p99" in stats.summary()
+    telemetry = stats.telemetry()
+    assert telemetry["wall_p50_s"] > 0
+    assert telemetry["wall_p99_s"] >= telemetry["wall_p50_s"]
+
+
+def test_prewarm_dedupes_by_fingerprint():
+    specs = [_memlat_spec(seed) for seed in (1, 2, 3)]
+    # Three specs, one (arch, calibration seed) pair: one warm-up.
+    assert runner_module._prewarm_calibrations(specs) == 1
+
+
+# ----------------------------------------------------------------------
 # Job-count resolution
 # ----------------------------------------------------------------------
 
