@@ -188,6 +188,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the rendered output (current --format) to a file",
     )
 
+    explore = subparsers.add_parser(
+        "explore",
+        help=(
+            "model-check a recoverable workload: enumerate every thread "
+            "interleaving and cross each with every reachable crash point"
+        ),
+    )
+    explore.add_argument(
+        "workload",
+        choices=("mutex-log", "disjoint-locks", "kvstore", "graph500"),
+        help="explorable workload (litmus tests or recoverable PM bodies)",
+    )
+    explore.add_argument(
+        "--mutant",
+        choices=("all", "none", "missing-flush", "misordered-barrier"),
+        default="all",
+        help=(
+            "protocol variant(s) to explore: the correct protocol "
+            "('none'), a seeded bug, or the full oracle sweep (default: "
+            "all; litmus tests without a persist protocol only accept "
+            "'none')"
+        ),
+    )
+    explore.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help=(
+            "ways to partition the schedule tree at its first decision "
+            "point (fixed per invocation, so results are identical for "
+            "any --jobs value; default: 2)"
+        ),
+    )
+    explore.add_argument("--seed", type=int, default=0, help="run seed")
+    explore.add_argument(
+        "--no-prune",
+        action="store_true",
+        help=(
+            "disable sleep-set pruning and walk the full interleaving "
+            "tree (the pruning-soundness baseline; slower, same verdict)"
+        ),
+    )
+    explore.add_argument(
+        "--arch", help="processor family of the simulated testbed"
+    )
+    explore.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes (default: QUARTZ_REPRO_JOBS or all cores)",
+    )
+    explore.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    explore.add_argument(
+        "-o", "--output", "--out",
+        dest="output",
+        help="also write the rendered output (current --format) to a file",
+    )
+
     sweep = subparsers.add_parser(
         "sweep",
         help=(
@@ -501,6 +563,88 @@ def _crash_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explore(args: argparse.Namespace) -> int:
+    """The ``explore`` subcommand: model-check, gate on the verdict.
+
+    Exit codes: 0 every expectation held (the report prints schedule and
+    crash-point counts); 4 the oracle's verdict failed — violations on
+    the correct protocol, a mutant surviving the full exploration, or a
+    capped (non-exhaustive) run.
+    """
+    from dataclasses import replace
+
+    from repro.hw.arch import IVY_BRIDGE
+    from repro.validation.experiments.explore import (
+        DEFAULT_EXPLORE_PLAN,
+        MUTANT_AXIS,
+        run_explore_check,
+    )
+
+    info = sys.stderr if args.format == "json" else sys.stdout
+    if args.mutant == "all":
+        # Litmus tests without a persist protocol reject mutants.
+        mutants = MUTANT_AXIS if args.workload != "disjoint-locks" else ("none",)
+    else:
+        mutants = (args.mutant,)
+    arch = arch_by_name(args.arch) if args.arch else IVY_BRIDGE
+    plan = DEFAULT_EXPLORE_PLAN
+    if args.no_prune:
+        plan = replace(plan, prune=False)
+    reset_run_stats()
+    started = time.perf_counter()
+    result = run_explore_check(
+        arch=arch,
+        workload=args.workload,
+        mutants=mutants,
+        shards=args.shards,
+        seed=args.seed,
+        explore_plan=plan,
+        jobs=args.jobs if args.jobs else default_cli_jobs(),
+    )
+    wall_s = time.perf_counter() - started
+    stats = consume_run_stats()
+    if args.format == "json":
+        document = export.build_document(
+            result,
+            export.build_manifest(
+                stats=stats,
+                knobs={
+                    "command": "explore",
+                    "workload": args.workload,
+                    "mutant": args.mutant,
+                    "shards": args.shards,
+                    "seed": args.seed,
+                    "arch": args.arch,
+                },
+                explore=plan.to_dict(),
+            ),
+            telemetry=stats.telemetry() if stats is not None else None,
+        )
+        rendered = export.dumps_document(document)
+    else:
+        rendered = render_table(result) + "\n"
+    sys.stdout.write(rendered)
+    print(f"\n(completed in {wall_s:.1f}s wall time)", file=info)
+    if stats is not None and stats.runs:
+        print(stats.summary(), file=info)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"written to {args.output}", file=info)
+    failed = [row for row in result.rows if not row["ok"]]
+    if failed:
+        for row in failed:
+            print(
+                f"error: explore expectation failed for "
+                f"{row['workload']}/{row['mutant']}: expected "
+                f"{row['expected']} violation(s), got {row['violations']} "
+                f"across {row['schedules']} schedule(s)",
+                file=sys.stderr,
+            )
+        return 4
+    return 0
+
+
 def _sweep(args: argparse.Namespace) -> int:
     """The ``sweep`` subcommand family: run / resume / status.
 
@@ -644,6 +788,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "crash-check":
         return _crash_check(args)
+    if args.command == "explore":
+        return _explore(args)
     if args.command == "calibrate":
         return _calibrate(args)
     if args.command == "sweep":

@@ -1,0 +1,53 @@
+"""Model-checking mode: controlled scheduling x exhaustive crash points.
+
+``repro.explore`` turns the deterministic simulator into a small model
+checker: a :class:`~repro.explore.scheduler.ControlledScheduler` parks
+every thread at each sync/persist boundary, the
+:class:`~repro.explore.explorer.Explorer` enumerates all interleavings
+by stateless re-execution with DPOR-style sleep-set pruning, and each
+explored schedule is crossed with every reachable crash point so the
+:class:`~repro.pmem.checker.RecoverableWorkload` oracle judges every
+(schedule, crash) pair.
+"""
+
+from repro.explore.explorer import (
+    DEFAULT_EXPLORE_CRASH_PLAN,
+    ExecutionRecord,
+    ExplorePlan,
+    Explorer,
+    ExploreReport,
+    merge_shard_reports,
+)
+from repro.explore.litmus import (
+    LITMUS_WORKLOADS,
+    LitmusConfig,
+    LitmusDisjointLocks,
+    LitmusMutexLog,
+    build_explorable,
+)
+from repro.explore.scheduler import (
+    ControlledScheduler,
+    ParkedThread,
+    boundary_footprint,
+    describe_boundary,
+    independent,
+)
+
+__all__ = [
+    "DEFAULT_EXPLORE_CRASH_PLAN",
+    "ControlledScheduler",
+    "ExecutionRecord",
+    "ExplorePlan",
+    "Explorer",
+    "ExploreReport",
+    "LITMUS_WORKLOADS",
+    "LitmusConfig",
+    "LitmusDisjointLocks",
+    "LitmusMutexLog",
+    "ParkedThread",
+    "boundary_footprint",
+    "build_explorable",
+    "describe_boundary",
+    "independent",
+    "merge_shard_reports",
+]

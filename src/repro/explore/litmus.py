@@ -1,0 +1,304 @@
+"""Litmus-test workloads: small, exploration-sized recoverable bodies.
+
+These implement the :class:`~repro.pmem.checker.RecoverableWorkload`
+protocol at a scale where the explorer can enumerate *every* thread
+interleaving:
+
+* ``mutex-log`` — threads append entries to one shared persistent log
+  under a mutex; the header (line 0) commits a count, lines ``1+i`` hold
+  the entries.  The correct protocol persists each entry before the
+  header that makes it reachable; the ``missing-flush`` and
+  ``misordered-barrier`` mutants break exactly that, and exploration
+  must catch them under every interleaving of the lock hand-off.
+* ``disjoint-locks`` — every thread owns a private mutex and a private
+  persistent region and never persists anything.  All of its sync ops
+  are pairwise independent across threads, so it is the pruning
+  benchmark: sleep sets collapse its interleaving tree to a handful of
+  schedules while an unpruned DFS walks them all.
+
+Sync primitives get explicit names and regions explicit labels — the
+module-level fallback counters in ``repro.os.sync`` are process-global
+and would differ between executions, breaking replay determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.hw.topology import PageSize
+from repro.ops import (
+    Commit,
+    JoinThread,
+    MemBatch,
+    MutexLock,
+    MutexUnlock,
+    PatternKind,
+    SpawnThread,
+)
+from repro.os.sync import Mutex
+from repro.units import CACHE_LINE_BYTES, MIB
+
+LOG_LABEL = "pmlog"
+LOG_MUTEX = "litmus-log-mutex"
+
+
+@dataclass(frozen=True)
+class LitmusConfig:
+    """Parameters of one litmus run (kept tiny by construction)."""
+
+    threads: int = 2
+    entries_per_thread: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise WorkloadError(f"need at least one thread: {self.threads}")
+        if self.entries_per_thread < 1:
+            raise WorkloadError(
+                f"need at least one entry per thread: {self.entries_per_thread}"
+            )
+
+
+def _entry_payload(writer: int, position: int) -> tuple:
+    return ("entry", writer, position)
+
+
+def _store(arena, label: str):
+    return MemBatch(
+        arena,
+        accesses=1,
+        pattern=PatternKind.RANDOM,
+        footprint_bytes=CACHE_LINE_BYTES,
+        is_store=True,
+        label=label,
+    )
+
+
+# ----------------------------------------------------------------------
+# mutex-log
+# ----------------------------------------------------------------------
+
+
+def _mutex_log_worker(ctx, config, domain, mutant, arena, mutex, shared, writer):
+    """Append ``entries_per_thread`` log records under the shared lock.
+
+    Correct protocol per entry (all inside the critical section): record
+    + store + persist the entry line, then record + store + persist the
+    header claiming it.  ``missing-flush`` never persists the entry;
+    ``misordered-barrier`` persists the header first.
+    """
+    for _ in range(config.entries_per_thread):
+        yield MutexLock(mutex)
+        position = shared["count"]
+        line = 1 + position
+        domain.record(arena, line, _entry_payload(writer, position))
+        yield _store(arena, "log-entry-write")
+        if mutant is None:
+            yield from ctx.pflush(arena, lines=1, line=line)
+            yield Commit()
+        shared["count"] = position + 1
+        domain.record(arena, 0, ("count", position + 1))
+        yield _store(arena, "log-header-write")
+        yield from ctx.pflush(arena, lines=1, line=0)
+        yield Commit()
+        if mutant == "misordered-barrier":
+            # The broken ordering: the entry becomes durable only after
+            # the header already claimed it — a crash in between commits
+            # a count whose entry is gone.
+            yield from ctx.pflush(arena, lines=1, line=line)
+            yield Commit()
+        yield MutexUnlock(mutex)
+    return config.entries_per_thread
+
+
+def mutex_log_body(config: LitmusConfig, out: dict, domain, mutant=None):
+    """Body factory for the shared-log litmus test."""
+
+    def body(ctx):
+        arena = ctx.pmalloc(
+            max(
+                MIB,
+                (1 + config.threads * config.entries_per_thread)
+                * CACHE_LINE_BYTES,
+            ),
+            page_size=PageSize.HUGE_2M,
+            label=LOG_LABEL,
+        )
+        mutex = Mutex(ctx.os, name=LOG_MUTEX)
+        shared = {"count": 0}
+        workers = []
+        for index in range(config.threads):
+            workers.append(
+                (
+                    yield SpawnThread(
+                        _mutex_log_worker,
+                        name=f"log-writer{index}",
+                        args=(config, domain, mutant, arena, mutex, shared, index),
+                    )
+                )
+            )
+        total = 0
+        for worker in workers:
+            total += yield JoinThread(worker)
+        out["result"] = {"appended": total, "mutant": mutant}
+        return out["result"]
+
+    return body
+
+
+class LitmusMutexLog:
+    """Exploration-sized shared persistent log (see module docstring)."""
+
+    workload_id = "mutex-log"
+
+    def __init__(self, config: LitmusConfig, mutant: Optional[str] = None):
+        from repro.pmem.checker import MUTANTS
+
+        if mutant is not None and mutant not in MUTANTS:
+            raise WorkloadError(f"unknown mutant {mutant!r} (have: {MUTANTS})")
+        self.config = config
+        self.mutant = mutant
+
+    def invariants(self) -> tuple:
+        return ("committed-entries-durable",)
+
+    def body_factory(self, domain, out: dict):
+        return mutex_log_body(self.config, out, domain, self.mutant)
+
+    def recover(self, image) -> list:
+        """Every entry the header commits must be durable and well-formed.
+
+        The *writer* of the i-th entry depends on the explored lock
+        order, so recovery checks shape (a valid writer index) and the
+        committed position, not a fixed value.
+        """
+        issues = []
+        lines = image.lines(LOG_LABEL)
+        header = lines.get(0)
+        if header is None:
+            return issues  # nothing committed: trivially consistent
+        committed = header[1]
+        for position in range(committed):
+            entry = lines.get(1 + position)
+            valid = (
+                isinstance(entry, tuple)
+                and len(entry) == 3
+                and entry[0] == "entry"
+                and 0 <= entry[1] < self.config.threads
+                and entry[2] == position
+            )
+            if not valid:
+                issues.append(
+                    {
+                        "invariant": "committed-entries-durable",
+                        "detail": (
+                            f"header commits {committed} entr(ies) but "
+                            f"line {1 + position} holds {entry!r}"
+                        ),
+                    }
+                )
+        return issues
+
+
+# ----------------------------------------------------------------------
+# disjoint-locks
+# ----------------------------------------------------------------------
+
+
+def _disjoint_worker(ctx, config, domain, arena, mutex, writer):
+    for sequence in range(config.entries_per_thread):
+        yield MutexLock(mutex)
+        domain.record(arena, sequence, ("private", writer, sequence))
+        yield _store(arena, "private-write")
+        yield MutexUnlock(mutex)
+    return config.entries_per_thread
+
+
+def disjoint_locks_body(config: LitmusConfig, out: dict, domain):
+    """Body factory for the independent-locks litmus test."""
+
+    def body(ctx):
+        arenas = [
+            ctx.pmalloc(
+                max(MIB, (1 + config.entries_per_thread) * CACHE_LINE_BYTES),
+                page_size=PageSize.HUGE_2M,
+                label=f"pmdl-{index}",
+            )
+            for index in range(config.threads)
+        ]
+        mutexes = [
+            Mutex(ctx.os, name=f"dl-mutex-{index}")
+            for index in range(config.threads)
+        ]
+        workers = []
+        for index in range(config.threads):
+            workers.append(
+                (
+                    yield SpawnThread(
+                        _disjoint_worker,
+                        name=f"dl-worker{index}",
+                        args=(config, domain, arenas[index], mutexes[index], index),
+                    )
+                )
+            )
+        total = 0
+        for worker in workers:
+            total += yield JoinThread(worker)
+        out["result"] = {"writes": total}
+        return out["result"]
+
+    return body
+
+
+class LitmusDisjointLocks:
+    """Per-thread locks and regions: the sleep-set pruning benchmark."""
+
+    workload_id = "disjoint-locks"
+
+    def __init__(self, config: LitmusConfig, mutant: Optional[str] = None):
+        if mutant is not None:
+            raise WorkloadError(
+                "disjoint-locks has no persist protocol to mutate"
+            )
+        self.config = config
+        self.mutant = None
+
+    def invariants(self) -> tuple:
+        return ("private-entries-well-formed",)
+
+    def body_factory(self, domain, out: dict):
+        return disjoint_locks_body(self.config, out, domain)
+
+    def recover(self, image) -> list:
+        """Nothing is ever flushed; any persisted line is a checker bug."""
+        issues = []
+        for index in range(self.config.threads):
+            for line, payload in sorted(image.lines(f"pmdl-{index}").items()):
+                issues.append(
+                    {
+                        "invariant": "private-entries-well-formed",
+                        "detail": (
+                            f"region pmdl-{index} line {line} persisted "
+                            f"{payload!r} without any flush"
+                        ),
+                    }
+                )
+        return issues
+
+
+#: Litmus workload id -> class (same shape as ``checker.PM_WORKLOADS``).
+LITMUS_WORKLOADS = {
+    "mutex-log": LitmusMutexLog,
+    "disjoint-locks": LitmusDisjointLocks,
+}
+
+
+def build_explorable(workload_id: str, config, mutant: Optional[str] = None):
+    """Instantiate a litmus or registered recoverable workload."""
+    if workload_id in LITMUS_WORKLOADS:
+        return LITMUS_WORKLOADS[workload_id](config, mutant)
+    from repro.pmem.checker import build_recoverable
+
+    return build_recoverable(workload_id, config, mutant)

@@ -26,6 +26,8 @@ from repro.ops import (
     Commit,
     CondNotify,
     CondWait,
+    Flush,
+    FlushOpt,
     JoinThread,
     MutexLock,
     MutexUnlock,
@@ -87,6 +89,11 @@ class SimOS:
         # interrupted by a thread happening to finish.
         self._unfinished_nondaemon = 0
         self._watch_completion = False
+        #: Optional boundary-gate generator ``gate(thread, op)`` run
+        #: before every sync/persist boundary op (and once per thread
+        #: start with ``op=None``).  The explore-mode controlled
+        #: scheduler parks threads here; ``None`` costs nothing.
+        self.boundary_gate: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Thread lifecycle
@@ -146,6 +153,9 @@ class SimOS:
     def _thread_main(self, thread: SimThread):
         thread.state = ThreadState.RUNNING
         try:
+            gate = self.boundary_gate
+            if gate is not None:
+                yield from gate(thread, None)
             begin_hook = self.interpose.op_hook("thread_begin")
             if begin_hook is not None:
                 yield from self._run_hook_ops(thread, begin_hook, None)
@@ -206,6 +216,9 @@ class SimOS:
     def _dispatch(self, thread: SimThread, op: Op, interpose: bool = True):
         """Route one op to the core, the sync layer, or an interposer."""
         if interpose:
+            gate = self.boundary_gate
+            if gate is not None and type(op) in _BOUNDARY_OPS:
+                yield from gate(thread, op)
             symbol = _INTERPOSED_SYMBOLS.get(type(op))
             if symbol is not None:
                 hook = self.interpose.op_hook(symbol)
@@ -405,6 +418,25 @@ class SimOS:
         finally:
             self._watch_completion = False
 
+
+#: Op types the explore-mode boundary gate intercepts: every sync and
+#: persist operation — the points where thread interleaving order can
+#: change observable state.  Compute/memory ops between boundaries are
+#: thread-local, so gating only here loses no distinct behaviours.
+_BOUNDARY_OPS: frozenset = frozenset(
+    {
+        MutexLock,
+        MutexUnlock,
+        CondWait,
+        CondNotify,
+        BarrierWait,
+        Flush,
+        FlushOpt,
+        Commit,
+        SpawnThread,
+        JoinThread,
+    }
+)
 
 #: Op types with OS-level interposition points and their symbol names.
 _INTERPOSED_SYMBOLS: dict[type, str] = {

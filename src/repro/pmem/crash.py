@@ -46,6 +46,9 @@ class CrashPlan:
     on_epoch_close: bool = True
     #: Snapshot right after every pcommit drain.
     on_commit: bool = True
+    #: Snapshot right after every durable flush persisted a line — the
+    #: exhaustive per-persist coverage explore mode needs.
+    on_persist: bool = False
     #: Mean inter-arrival of random crash points (0 disables them).
     random_interval_ns: float = 0.0
     #: Plan-level seed, mixed with the run seed per injector.
@@ -69,6 +72,7 @@ class CrashPlan:
         return {
             "on_epoch_close": self.on_epoch_close,
             "on_commit": self.on_commit,
+            "on_persist": self.on_persist,
             "random_interval_ns": self.random_interval_ns,
             "seed": self.seed,
             "max_points": self.max_points,
@@ -111,6 +115,8 @@ class CrashInjector:
             engine.close_observers.append(self._on_epoch_close)
         if self.plan.on_commit:
             self.domain.commit_observers.append(self._on_commit)
+        if self.plan.on_persist:
+            self.domain.persist_observers.append(self._on_persist)
         if self.plan.random_interval_ns > 0:
             self._schedule_random()
 
@@ -122,6 +128,9 @@ class CrashInjector:
 
     def _on_commit(self, thread, op) -> None:
         self._take(f"commit@{thread.name}")
+
+    def _on_persist(self, thread, op) -> None:
+        self._take(f"persist@{thread.name}")
 
     def _schedule_random(self) -> None:
         assert self._sim is not None

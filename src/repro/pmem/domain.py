@@ -116,6 +116,11 @@ class PersistenceDomain:
         #: the crash injector's "power fails right after the barrier
         #: retires" snapshot point.
         self.commit_observers: list = []
+        #: Callables invoked with (thread, op) after a durable Flush
+        #: persisted at least one line — the explore mode's exhaustive
+        #: "power fails right after this line became durable" point.
+        #: Commit drains are already covered by ``commit_observers``.
+        self.persist_observers: list = []
 
     # ------------------------------------------------------------------
     # Registration / content channel
@@ -214,6 +219,9 @@ class PersistenceDomain:
             else:
                 shadow.posted[index] = (payload, thread.tid)
                 self.lines_posted += 1
+        if durable:
+            for observer in self.persist_observers:
+                observer(thread, op)
 
     def _drain(self, tid: int) -> None:
         self.commits_seen += 1

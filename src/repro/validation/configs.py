@@ -31,6 +31,7 @@ from repro.quartz.stats import QuartzStats
 from repro.sim import Simulator
 
 if TYPE_CHECKING:
+    from repro.explore import ExplorePlan
     from repro.pmem.crash import CrashPlan
     from repro.quartz.trace import JsonlTraceWriter
 
@@ -50,6 +51,9 @@ class RunOutcome:
     #: :meth:`~repro.pmem.checker.CrashCheckReport.to_dict` of a
     #: crash-checked run (None otherwise).
     crash_report: Optional[dict] = None
+    #: :meth:`~repro.explore.ExploreReport.to_dict` of a model-checking
+    #: run (None otherwise).
+    explore_report: Optional[dict] = None
 
 
 def _fault_setup(
@@ -199,6 +203,54 @@ def run_crash(
     )
     outcome.quartz_stats = quartz.stats
     return _fault_finish(outcome, engine, monitor)
+
+
+def run_explore(
+    arch: ArchSpec,
+    workload_id: str,
+    workload_config: Any,
+    explore_plan: "ExplorePlan",
+    seed: int = 0,
+    shard: int = 0,
+    shards: int = 1,
+    mutant: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
+) -> RunOutcome:
+    """Model-checking mode: enumerate interleavings x crash points.
+
+    Unlike the other configurations this is not one run but a whole
+    exploration: the :class:`~repro.explore.Explorer` re-executes the
+    workload once per schedule on private simulators (no Quartz, no
+    latency jitter — scheduling nondeterminism is the subject under
+    test, timing emulation is not).  ``shard``/``shards`` partition the
+    schedule tree at its first decision point, so shard outcomes merge
+    to the identical whole for any job fan-out.
+
+    ``fault_plan``/``check_invariants`` are accepted for runner-protocol
+    compatibility and ignored: fault injection perturbs timing inside a
+    single simulation, while exploration owns its internal simulators
+    end to end.
+    """
+    del fault_plan, check_invariants  # exploration owns its simulators
+    from repro.explore import Explorer
+
+    explorer = Explorer(
+        arch,
+        workload_id,
+        workload_config,
+        plan=explore_plan,
+        mutant=mutant,
+        shard=shard,
+        shards=shards,
+    )
+    report = explorer.run()
+    return RunOutcome(
+        workload_result=report.result,
+        elapsed_ns=report.elapsed_ns,
+        machine=None,
+        explore_report=report.to_dict(),
+    )
 
 
 def run_conf2(

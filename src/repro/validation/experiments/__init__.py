@@ -37,6 +37,7 @@ from repro.validation.experiments.extensions import (
     run_technology_comparison,
 )
 from repro.validation.experiments.crash import run_crash_check
+from repro.validation.experiments.explore import run_explore_check
 from repro.validation.experiments.tiers import (
     run_migration_policy,
     run_tier_sweep,
@@ -73,6 +74,7 @@ REGISTRY = {
     "technology-comparison": run_technology_comparison,
     "kv-write-models": run_kv_write_models,
     "crash-check": run_crash_check,
+    "explore-check": run_explore_check,
     "tier-sweep": run_tier_sweep,
     "migration-policy": run_migration_policy,
     # Streaming sweep grids (see repro.validation.sweep): the same

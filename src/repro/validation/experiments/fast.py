@@ -17,6 +17,7 @@ import inspect
 from typing import Callable, Optional
 
 from repro.errors import ValidationError
+from repro.explore import LitmusConfig
 from repro.hw.arch import IVY_BRIDGE
 from repro.units import MIB
 from repro.validation.experiments import REGISTRY
@@ -138,6 +139,11 @@ FAST_KWARGS: dict[str, Callable[[], dict]] = {
             puts_per_thread=8, gets_per_thread=0, threads=2, batch_ops=4,
             seed=3,
         ),
+    },
+    "explore-check": lambda: {
+        "workload": "mutex-log",
+        "shards": 2,
+        "config": LitmusConfig(threads=2, entries_per_thread=1, seed=0),
     },
     "tier-sweep": lambda: {
         "tier_sets": {"3-tier": ((250.0, 350.0), (400.0, 600.0), (700.0, 1100.0))},

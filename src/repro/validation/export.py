@@ -92,6 +92,10 @@ class RunManifest:
     #: invocation (None otherwise).  Digest-covered for the same reason:
     #: the crash-point plan is part of what the results mean.
     crash: Optional[dict] = None
+    #: The :meth:`~repro.explore.ExplorePlan.to_dict` of a model-checking
+    #: invocation (None otherwise).  Digest-covered: pruning and budget
+    #: settings decide what "explored exhaustively" means.
+    explore: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -107,6 +111,9 @@ class RunManifest:
             "knobs": dict(self.knobs),
             "faults": dict(self.faults) if self.faults is not None else None,
             "crash": dict(self.crash) if self.crash is not None else None,
+            "explore": (
+                dict(self.explore) if self.explore is not None else None
+            ),
         }
 
     @classmethod
@@ -135,6 +142,11 @@ class RunManifest:
                     if payload.get("crash") is not None
                     else None
                 ),
+                explore=(
+                    dict(payload["explore"])
+                    if payload.get("explore") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ValidationError(f"malformed manifest payload: {error}")
@@ -145,6 +157,7 @@ def build_manifest(
     knobs: Optional[dict] = None,
     faults: Optional[dict] = None,
     crash: Optional[dict] = None,
+    explore: Optional[dict] = None,
 ) -> RunManifest:
     """Assemble a manifest from a driver invocation's runner stats.
 
@@ -153,7 +166,8 @@ def build_manifest(
     ``knobs`` records the invocation's configuration flags; ``faults``
     is the active :meth:`~repro.faults.plan.FaultPlan.to_dict` (if any);
     ``crash`` the :meth:`~repro.pmem.crash.CrashPlan.to_dict` of a
-    crash-checked invocation.
+    crash-checked invocation; ``explore`` the
+    :meth:`~repro.explore.ExplorePlan.to_dict` of a model-checking one.
     """
     archs: dict = {}
     workloads: tuple = ()
@@ -181,6 +195,7 @@ def build_manifest(
         knobs=dict(knobs or {}),
         faults=dict(faults) if faults is not None else None,
         crash=dict(crash) if crash is not None else None,
+        explore=dict(explore) if explore is not None else None,
     )
 
 
@@ -266,16 +281,18 @@ def write_experiment_json(
     manifest: Optional[RunManifest] = None,
     faults: Optional[dict] = None,
     crash: Optional[dict] = None,
+    explore: Optional[dict] = None,
 ) -> dict:
     """Serialize one experiment to *path*; returns the written document.
 
     The manifest defaults to :func:`build_manifest` over ``stats``,
-    ``knobs``, ``faults``, and ``crash``; telemetry is taken from
-    ``stats`` when present.
+    ``knobs``, ``faults``, ``crash``, and ``explore``; telemetry is
+    taken from ``stats`` when present.
     """
     if manifest is None:
         manifest = build_manifest(
-            stats=stats, knobs=knobs, faults=faults, crash=crash
+            stats=stats, knobs=knobs, faults=faults, crash=crash,
+            explore=explore,
         )
     telemetry = stats.telemetry() if stats is not None else None
     document = build_document(result, manifest, telemetry=telemetry)

@@ -42,12 +42,15 @@ from repro.quartz.calibration import (
 )
 from repro.quartz.config import QuartzConfig
 from repro.quartz.stats import QuartzStats
+from repro.explore.litmus import disjoint_locks_body, mutex_log_body
+from repro.pmem.domain import PersistenceDomain
 from repro.validation.configs import (
     RunOutcome,
     run_chase,
     run_conf1,
     run_conf2,
     run_crash,
+    run_explore,
     run_native,
     run_throttled,
 )
@@ -85,13 +88,26 @@ WORKLOADS: dict[str, Callable[[Any, dict], Callable]] = {
     "parallel-pagerank": lambda config, extras: (
         lambda out: parallel_pagerank_body(config, out, graph=extras.get("graph"))
     ),
+    # Litmus workloads (exploration-sized; see ``repro.explore.litmus``).
+    # Outside explore mode they run against a detached shadow domain —
+    # the recorded content goes unchecked, the traffic shape is real.
+    "mutex-log": lambda config, extras: (
+        lambda out: mutex_log_body(
+            config, out, PersistenceDomain(), extras.get("mutant")
+        )
+    ),
+    "disjoint-locks": lambda config, extras: (
+        lambda out: disjoint_locks_body(config, out, PersistenceDomain())
+    ),
 }
 
 #: Mode -> testbed configuration (see ``repro.validation.configs``).
 #: ``crash`` is Conf_1 plus the crash-consistency checker
 #: (``repro.pmem``); its extras carry ``crash_plan`` (required) and
-#: optionally ``shard``/``shards``/``mutant``.
-MODES = ("conf1", "conf2", "native", "chase", "throttled", "crash")
+#: optionally ``shard``/``shards``/``mutant``.  ``explore`` is the
+#: model-checking mode (``repro.explore``); its extras carry
+#: ``explore_plan`` (required) plus the same optional keys.
+MODES = ("conf1", "conf2", "native", "chase", "throttled", "crash", "explore")
 
 
 @dataclass(frozen=True)
@@ -124,6 +140,8 @@ class RunSpec:
             raise ValidationError(f"{self.mode} runs need a QuartzConfig")
         if self.mode == "crash" and "crash_plan" not in self.extras:
             raise ValidationError("crash runs need a CrashPlan in extras")
+        if self.mode == "explore" and "explore_plan" not in self.extras:
+            raise ValidationError("explore runs need an ExplorePlan in extras")
 
 
 @dataclass
@@ -154,6 +172,8 @@ class RunResult:
     max_epoch_length_ns: float = 0.0
     #: Crash-check report dict of a ``crash``-mode run (None otherwise).
     crash_report: Optional[dict] = None
+    #: Explore report dict of an ``explore``-mode run (None otherwise).
+    explore_report: Optional[dict] = None
 
 
 # ----------------------------------------------------------------------
@@ -170,6 +190,18 @@ def _execute(
     arch = arch_by_name(spec.arch_name)
     factory = WORKLOADS[spec.workload](spec.config, spec.extras)
     faults = {"fault_plan": fault_plan, "check_invariants": check_invariants}
+    if spec.mode == "explore":
+        return run_explore(
+            arch,
+            spec.workload,
+            spec.config,
+            spec.extras["explore_plan"],
+            seed=spec.seed,
+            shard=spec.extras.get("shard", 0),
+            shards=spec.extras.get("shards", 1),
+            mutant=spec.extras.get("mutant"),
+            **faults,
+        )
     if spec.mode == "crash":
         return run_crash(
             arch,
@@ -271,6 +303,7 @@ def _run_one(payload: tuple) -> RunResult:
         invariant_violations=invariants.get("violations", 0),
         max_epoch_length_ns=invariants.get("max_epoch_length_ns", 0.0),
         crash_report=outcome.crash_report,
+        explore_report=outcome.explore_report,
     )
 
 
@@ -477,6 +510,15 @@ class RunnerStats:
     crash_points: int = 0
     crash_images_checked: int = 0
     crash_violations: int = 0
+    #: Explorer aggregates (``explore``-mode runs only): schedules whose
+    #: full behaviour was oracle-checked, controlled executions spent
+    #: getting there, branches pruned as redundant, crash images checked
+    #: across the whole cross product, and distinct violations found.
+    explore_schedules: int = 0
+    explore_executions: int = 0
+    explore_pruned: int = 0
+    explore_images_checked: int = 0
+    explore_violations: int = 0
 
     @property
     def calib_hits(self) -> int:
@@ -549,6 +591,13 @@ class RunnerStats:
                 f"; crash: {self.crash_images_checked} image(s) checked, "
                 f"{self.crash_violations} violation(s)"
             )
+        if self.explore_schedules:
+            line += (
+                f"; explore: {self.explore_schedules} schedule(s) "
+                f"({self.explore_pruned} pruned), "
+                f"{self.explore_images_checked} image(s) checked, "
+                f"{self.explore_violations} violation(s)"
+            )
         return line
 
     def telemetry(self) -> dict:
@@ -599,6 +648,14 @@ class RunnerStats:
                 "points": self.crash_points,
                 "images_checked": self.crash_images_checked,
                 "violations": self.crash_violations,
+            }
+        if self.explore_schedules:
+            payload["explore"] = {
+                "schedules": self.explore_schedules,
+                "executions": self.explore_executions,
+                "pruned": self.explore_pruned,
+                "images_checked": self.explore_images_checked,
+                "violations": self.explore_violations,
             }
         return payload
 
@@ -667,6 +724,16 @@ def _record_result(stats: RunnerStats, result: RunResult) -> None:
         stats.crash_points += result.crash_report.get("points", 0)
         stats.crash_images_checked += result.crash_report.get("checked", 0)
         stats.crash_violations += result.crash_report.get(
+            "violation_total", 0
+        )
+    if result.explore_report is not None:
+        stats.explore_schedules += result.explore_report.get("schedules", 0)
+        stats.explore_executions += result.explore_report.get("executions", 0)
+        stats.explore_pruned += result.explore_report.get("pruned", 0)
+        stats.explore_images_checked += result.explore_report.get(
+            "images_checked", 0
+        )
+        stats.explore_violations += result.explore_report.get(
             "violation_total", 0
         )
 

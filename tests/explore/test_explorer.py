@@ -1,0 +1,196 @@
+"""The exhaustive mutant-oracle regression suite (model-checking mode).
+
+Every seeded mutant of every explorable recoverable workload must be
+caught deterministically by exploration, with a replayable minimal
+failing interleaving; every unmutated protocol must survive the full
+(schedule x crash point) cross product uncapped.
+"""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.explore import (
+    Explorer,
+    ExplorePlan,
+    LitmusConfig,
+    build_explorable,
+    merge_shard_reports,
+)
+from repro.hw import IVY_BRIDGE
+from repro.pmem.checker import MUTANTS
+from repro.validation.experiments.explore import default_explore_config
+
+#: Every explorable workload with a persist protocol to mutate.
+ORACLE_WORKLOADS = ("mutex-log", "kvstore", "graph500")
+
+
+def _explore(workload, mutant, prune=True, shard=0, shards=1, config=None):
+    return Explorer(
+        IVY_BRIDGE,
+        workload,
+        config if config is not None else default_explore_config(workload),
+        ExplorePlan(prune=prune),
+        mutant=mutant,
+        shard=shard,
+        shards=shards,
+    )
+
+
+# ----------------------------------------------------------------------
+# The oracle: clean survives, every mutant is caught
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", ORACLE_WORKLOADS)
+def test_unmutated_protocol_survives_full_exploration(workload):
+    report = _explore(workload, None).run()
+    assert report.violation_total == 0
+    assert report.violations == []
+    assert report.minimal_trace is None
+    assert report.deadlocks == 0
+    assert not report.capped, "capped exploration is not exhaustive"
+    assert report.schedules >= 1
+    assert report.executions >= report.schedules
+
+
+@pytest.mark.parametrize("workload", ORACLE_WORKLOADS)
+@pytest.mark.parametrize("mutant", MUTANTS)
+def test_every_mutant_is_caught_with_a_replayable_trace(workload, mutant):
+    explorer = _explore(workload, mutant)
+    report = explorer.run()
+    assert report.violation_total >= 1, f"{mutant} escaped on {workload}"
+    assert not report.capped
+    trace = report.minimal_trace
+    assert trace is not None
+    # The minimal failing interleaving replays to the same violations.
+    record = explorer.replay(trace["choices"])
+    replayed = sorted(
+        f"{invariant}: {detail}" for invariant, detail in record.violations
+    )
+    assert replayed == trace["violations"]
+    assert len(trace["steps"]) == len(trace["choices"])
+    for step in trace["steps"]:
+        assert step["thread"] in step["candidates"]
+
+
+@pytest.mark.parametrize("mutant", MUTANTS)
+def test_mutant_verdicts_are_deterministic(mutant):
+    first = _explore("mutex-log", mutant).run()
+    second = _explore("mutex-log", mutant).run()
+    assert first.to_dict() == second.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Sharding: disjoint subtrees, identical merged verdict
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mutant", (None, "misordered-barrier"))
+def test_shard_reports_merge_to_the_unsharded_whole(mutant):
+    whole = _explore("mutex-log", mutant).run()
+    merged = merge_shard_reports(
+        [
+            _explore("mutex-log", mutant, shard=shard, shards=3)
+            .run()
+            .to_dict()
+            for shard in range(3)
+        ]
+    )
+    assert merged["violation_total"] == whole.violation_total
+    assert {
+        (record["invariant"], record["detail"])
+        for record in merged["violations"]
+    } == {
+        (record["invariant"], record["detail"])
+        for record in whole.violations
+    }
+    if whole.minimal_trace is None:
+        assert merged["minimal_trace"] is None
+    else:
+        assert merged["minimal_trace"]["choices"] == (
+            whole.minimal_trace["choices"]
+        )
+    assert merged["schedules"] >= whole.schedules
+
+
+def test_merge_rejects_inconsistent_shard_sets():
+    reports = [
+        _explore("mutex-log", None, shard=shard, shards=2).run().to_dict()
+        for shard in range(2)
+    ]
+    with pytest.raises(WorkloadError):
+        merge_shard_reports(reports[:1])
+    with pytest.raises(WorkloadError):
+        merge_shard_reports([])
+
+
+# ----------------------------------------------------------------------
+# Replay and guard rails
+# ----------------------------------------------------------------------
+def test_strict_replay_rejects_divergent_schedules():
+    explorer = _explore("mutex-log", None)
+    with pytest.raises(WorkloadError, match="diverged"):
+        explorer.replay([99])
+    longest = _explore("mutex-log", None).run()
+    with pytest.raises(WorkloadError, match="diverged"):
+        explorer.replay([0] * (longest.decisions_max + 5))
+
+
+def test_execution_budget_caps_the_report():
+    explorer = _explore(
+        "mutex-log",
+        None,
+        config=LitmusConfig(threads=3, entries_per_thread=1),
+    )
+    explorer.plan = ExplorePlan(max_executions=5)
+    capped = explorer.run()
+    assert capped.capped
+    assert capped.executions == 5
+
+
+def test_unknown_workload_and_mutant_are_rejected_eagerly():
+    with pytest.raises(WorkloadError):
+        _explore("no-such-workload", None, config=LitmusConfig())
+    with pytest.raises(WorkloadError):
+        _explore("mutex-log", "no-such-mutant")
+    with pytest.raises(WorkloadError):
+        build_explorable("disjoint-locks", LitmusConfig(), "missing-flush")
+
+
+def test_deadlock_is_reported_as_a_violation():
+    """Lock-order inversion: exploration finds the deadlocked schedule."""
+    from repro.explore.litmus import LITMUS_WORKLOADS, LitmusDisjointLocks
+    from repro.ops import JoinThread, MutexLock, MutexUnlock, SpawnThread
+    from repro.os.sync import Mutex
+
+    class DeadlockProne(LitmusDisjointLocks):
+        workload_id = "deadlock-prone"
+
+        def body_factory(self, domain, out):
+            def worker(ctx, first, second):
+                yield MutexLock(first)
+                yield MutexLock(second)
+                yield MutexUnlock(second)
+                yield MutexUnlock(first)
+
+            def body(ctx):
+                a = Mutex(ctx.os, name="dp-a")
+                b = Mutex(ctx.os, name="dp-b")
+                one = yield SpawnThread(worker, name="dp0", args=(a, b))
+                two = yield SpawnThread(worker, name="dp1", args=(b, a))
+                yield JoinThread(one)
+                yield JoinThread(two)
+                out["result"] = {"ok": True}
+
+            return body
+
+    LITMUS_WORKLOADS["deadlock-prone"] = DeadlockProne
+    try:
+        report = _explore(
+            "deadlock-prone", None, config=LitmusConfig()
+        ).run()
+    finally:
+        del LITMUS_WORKLOADS["deadlock-prone"]
+    assert report.deadlocks >= 1
+    assert any(
+        record["invariant"] == "deadlock-free"
+        for record in report.violations
+    )
+    trace = report.minimal_trace
+    assert trace is not None and trace["outcome"] == "deadlock"

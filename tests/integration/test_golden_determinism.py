@@ -16,7 +16,7 @@ To regenerate after an *intentional* behaviour change::
     digests = {}
     for eid in ("figure12", "figure14", "table2", "epoch-size-study",
                 "figure16-latency", "crash-check", "tier-sweep",
-                "migration-policy"):
+                "migration-policy", "explore-check"):
         reset_run_stats()
         result = run_fast(eid, jobs=1)
         digests[eid] = export.experiment_digest(

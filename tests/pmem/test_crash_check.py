@@ -147,6 +147,68 @@ def test_shards_partition_the_identical_point_sequence():
     )
 
 
+def _run_injector(shard=0, shards=1):
+    """Drive the kvstore workload keeping the injector (and its stored
+    images) in hand — ``check_workload`` consumes images during recovery,
+    so stride tests reach underneath it."""
+    from repro.pmem.crash import CrashInjector
+    from repro.pmem.domain import PersistenceDomain
+
+    sim = Simulator(seed=0)
+    machine = Machine(sim, IVY_BRIDGE, latency_jitter=True)
+    os = SimOS(machine, default_cpu_node=0)
+    quartz = Quartz(
+        os,
+        QuartzConfig(
+            nvm_read_latency_ns=400.0,
+            nvm_write_latency_ns=500.0,
+            write_model=WriteModel.PCOMMIT,
+        ),
+        calibration=calibrate_arch(IVY_BRIDGE),
+    )
+    quartz.attach()
+    domain = PersistenceDomain()
+    domain.install(os, quartz.write_emulator)
+    injector = CrashInjector(
+        domain, PLAN, run_seed=0, shard=shard, shards=shards
+    )
+    injector.install(sim, quartz.epoch_engine)
+    workload = build_recoverable("kvstore", KV_CONFIG)
+    out: dict = {}
+    os.create_thread(workload.body_factory(domain, out), name="main")
+    os.run_to_completion()
+    return injector
+
+
+@pytest.mark.parametrize("shards", (2, 3, 5))
+def test_shard_strides_store_an_exact_partition(shards):
+    """Stored crash-image *indices* form an exact partition of the point
+    sequence — no duplicates, no gaps — and every stored image carries
+    content identical to the unsharded run's image at the same index.
+    """
+    reference = _run_injector()
+    by_index = {image.index: image for image in reference.images}
+    assert sorted(by_index) == list(range(reference.points))
+    stored: dict[int, object] = {}
+    for shard in range(shards):
+        injector = _run_injector(shard=shard, shards=shards)
+        # Every shard enumerates the identical point sequence.
+        assert injector.points == reference.points
+        for image in injector.images:
+            # No duplicates across shards.
+            assert image.index not in stored
+            stored[image.index] = image
+            # The stride is exactly index % shards == shard.
+            assert image.index % shards == shard
+    # No gaps: the union covers every enumerated point.
+    assert sorted(stored) == list(range(reference.points))
+    for index, image in stored.items():
+        twin = by_index[index]
+        assert image.persisted == twin.persisted
+        assert image.trigger == twin.trigger
+        assert image.time_ns == twin.time_ns
+
+
 def test_injector_never_perturbs_the_simulation():
     plain, result_plain = run_check(
         "kvstore", KV_CONFIG, plan=CrashPlan(max_points=1, on_epoch_close=False)

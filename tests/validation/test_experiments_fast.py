@@ -46,6 +46,8 @@ def test_registry_covers_every_paper_artefact():
         "technology-comparison", "kv-write-models",
         # Crash-consistency checking (repro.pmem).
         "crash-check",
+        # Systematic interleaving + crash-point exploration (repro.explore).
+        "explore-check",
         # The N-tier hybrid-memory generalization.
         "tier-sweep", "migration-policy",
         # Streaming sweep grids (repro.validation.sweep presets).
