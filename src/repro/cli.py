@@ -36,6 +36,7 @@ from repro.hw.arch import arch_by_name
 from repro.quartz.calibration import calibrate_arch
 from repro.validation import export
 from repro.validation.experiments import REGISTRY
+from repro.validation.experiments.service import SERVICE_PRESETS
 from repro.validation.experiments.sweeps import SWEEP_PRESETS
 from repro.validation.reporting import render_table
 from repro.validation.runner import (
@@ -245,6 +246,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (default: table)",
     )
     explore.add_argument(
+        "-o", "--output", "--out",
+        dest="output",
+        help="also write the rendered output (current --format) to a file",
+    )
+
+    service = subparsers.add_parser(
+        "service",
+        help=(
+            "run the trace-driven multi-tenant KV service (DRAM cache "
+            "tier + tail-latency reporting) at a named preset"
+        ),
+    )
+    service.add_argument(
+        "preset", choices=sorted(SERVICE_PRESETS), metavar="preset",
+        help=f"service preset ({', '.join(sorted(SERVICE_PRESETS))})",
+    )
+    service.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes (default: QUARTZ_REPRO_JOBS or all cores)",
+    )
+    service.add_argument(
+        "--faults",
+        help=(
+            "run under deterministic fault injection (same grammar as "
+            "'run --faults'); the cache-accounting conservation checks "
+            "still gate the run"
+        ),
+    )
+    service.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help=(
+            "attach the runtime invariant monitor; the run aborts with "
+            "exit code 3 at the first violation"
+        ),
+    )
+    service.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    service.add_argument(
         "-o", "--output", "--out",
         dest="output",
         help="also write the rendered output (current --format) to a file",
@@ -645,6 +690,82 @@ def _explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service(args: argparse.Namespace) -> int:
+    """The ``service`` subcommand: one KV-service preset, gated exports.
+
+    Exit codes: 0 on success, 2 on a misconfigured preset/fault plan,
+    3 when an invariant (including the DRAM cache's accounting
+    conservation) is violated, 130 when interrupted.
+    """
+    from repro.validation.experiments.service import service_scenario
+
+    info = sys.stderr if args.format == "json" else sys.stdout
+    experiment_id, build_kwargs = SERVICE_PRESETS[args.preset]
+    driver = REGISTRY[experiment_id]
+    kwargs = build_kwargs()
+    kwargs["jobs"] = args.jobs if args.jobs else default_cli_jobs()
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = FaultPlan.parse(args.faults)
+        except FaultPlanError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if fault_plan is not None or args.check_invariants:
+        set_active_faults(fault_plan, args.check_invariants)
+    reset_run_stats()
+    started = time.perf_counter()
+    try:
+        try:
+            result = driver(**kwargs)
+        finally:
+            clear_active_faults()
+    except InvariantViolation as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "the service run aborted at the first violated invariant "
+            "(runtime or cache-accounting conservation)",
+            file=sys.stderr,
+        )
+        return 3
+    except RunInterrupted as interrupt:
+        stats = consume_run_stats()
+        print(f"interrupted: {interrupt}", file=sys.stderr)
+        if stats is not None and stats.runs:
+            print(stats.summary(), file=sys.stderr)
+        return 130
+    wall_s = time.perf_counter() - started
+    stats = consume_run_stats()
+    if args.format == "json":
+        document = export.build_document(
+            result,
+            export.build_manifest(
+                stats=stats,
+                knobs={
+                    "command": "service",
+                    "preset": args.preset,
+                    "experiment": experiment_id,
+                    "check_invariants": bool(args.check_invariants),
+                },
+                faults=fault_plan.to_dict() if fault_plan is not None else None,
+                service=service_scenario(args.preset),
+            ),
+            telemetry=stats.telemetry() if stats is not None else None,
+        )
+        rendered = export.dumps_document(document)
+    else:
+        rendered = render_table(result) + "\n"
+    sys.stdout.write(rendered)
+    print(f"\n(completed in {wall_s:.1f}s wall time)", file=info)
+    if stats is not None and stats.runs:
+        print(stats.summary(), file=info)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"written to {args.output}", file=info)
+    return 0
+
+
 def _sweep(args: argparse.Namespace) -> int:
     """The ``sweep`` subcommand family: run / resume / status.
 
@@ -790,6 +911,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _crash_check(args)
     if args.command == "explore":
         return _explore(args)
+    if args.command == "service":
+        return _service(args)
     if args.command == "calibrate":
         return _calibrate(args)
     if args.command == "sweep":

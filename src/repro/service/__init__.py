@@ -1,0 +1,47 @@
+"""The service layer: a trace-driven multi-tenant KV service.
+
+Turns the emulator into a production-shaped scenario: seeded
+zipfian/uniform/YCSB operation streams (:mod:`repro.service.traces`)
+drive N simulated client threads against a PM-resident store fronted by
+a DRAM cache tier (:mod:`repro.service.cache`), with per-operation
+latency sampled into fixed-bucket histograms and reported as
+p50/p95/p99/p999 plus throughput per tenant
+(:mod:`repro.service.kvservice`).
+
+Everything is seeded and deterministic: the same
+:class:`~repro.service.kvservice.ServiceConfig` produces byte-identical
+results for any ``--jobs`` value, and the DRAM cache's accounting is
+conservation-checked (hits + misses == lookups, residency <= capacity)
+at the end of every run — including faulted ones.
+"""
+
+from repro.service.cache import CacheConfig, DramCache
+from repro.service.kvservice import (
+    LatencyHistogram,
+    ServiceConfig,
+    ServiceResult,
+    kvservice_main_body,
+)
+from repro.service.traces import (
+    MIXES,
+    TraceConfig,
+    TraceOp,
+    operation_stream,
+    rank_probability,
+    stream_digest,
+)
+
+__all__ = [
+    "CacheConfig",
+    "DramCache",
+    "LatencyHistogram",
+    "MIXES",
+    "ServiceConfig",
+    "ServiceResult",
+    "TraceConfig",
+    "TraceOp",
+    "kvservice_main_body",
+    "operation_stream",
+    "rank_probability",
+    "stream_digest",
+]

@@ -1,0 +1,388 @@
+"""The DRAM cache tier in front of the PM-resident store.
+
+A :class:`DramCache` is the service's functional cache model: it tracks
+which keys are DRAM-resident (the *timing* of a probe is charged by the
+service as memory traffic against a DRAM arena), which entries are dirty
+under write-back, and per-tenant accounting — hits, misses, evictions,
+writebacks, admissions.
+
+Policies are pluggable per :class:`CacheConfig`:
+
+* admission — ``always``, or ``probabilistic`` (admit with probability
+  ``admit_p`` from a seeded stream, the classic anti-pollution filter);
+* eviction — ``lru``, ``lfu`` (min frequency, oldest-touch tie-break),
+  or ``segmented`` (SLRU: a probationary segment feeding a protected
+  one, so one-hit wonders never displace the hot set).
+
+Accounting is *conservation-checked*: ``hits + misses == lookups`` per
+tenant, ``admitted == evictions + residency`` per tenant, and total
+residency can never exceed capacity (enforced at every insert, not just
+at the end).  :meth:`DramCache.verify_accounting` raises
+:class:`~repro.errors.InvariantViolation` on any breakage, which is how
+the fault-injection sweeps prove cache bookkeeping survives perturbed
+runs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import InvariantViolation, WorkloadError
+
+ADMISSION_POLICIES = ("always", "probabilistic")
+EVICTION_POLICIES = ("lru", "lfu", "segmented")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Sizing and policy of the DRAM cache tier."""
+
+    #: Capacity in entries (each entry caches one record).
+    capacity: int = 512
+    eviction: str = "lru"
+    admission: str = "always"
+    #: Admission probability under the probabilistic policy.
+    admit_p: float = 0.7
+    #: Fraction of capacity reserved for the protected SLRU segment.
+    protected_fraction: float = 0.8
+    #: Bytes one cached entry occupies in the DRAM arena (key + value
+    #: slot); sizes the arena the service charges probes against.
+    entry_bytes: int = 1088
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise WorkloadError(f"capacity must be positive: {self.capacity}")
+        if self.eviction not in EVICTION_POLICIES:
+            raise WorkloadError(
+                f"unknown eviction policy {self.eviction!r} "
+                f"(choose from {', '.join(EVICTION_POLICIES)})"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise WorkloadError(
+                f"unknown admission policy {self.admission!r} "
+                f"(choose from {', '.join(ADMISSION_POLICIES)})"
+            )
+        if not 0.0 <= self.admit_p <= 1.0:
+            raise WorkloadError(f"admit_p must be in [0, 1]: {self.admit_p}")
+        if not 0.0 < self.protected_fraction < 1.0:
+            raise WorkloadError(
+                f"protected fraction must be in (0, 1): "
+                f"{self.protected_fraction}"
+            )
+        if self.entry_bytes < 1:
+            raise WorkloadError(f"entry bytes must be positive: {self.entry_bytes}")
+
+    @property
+    def arena_bytes(self) -> int:
+        """DRAM footprint of a full cache (what probe traffic spans)."""
+        return max(4096, self.capacity * self.entry_bytes)
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "eviction": self.eviction,
+            "admission": self.admission,
+            "admit_p": self.admit_p,
+            "protected_fraction": self.protected_fraction,
+            "entry_bytes": self.entry_bytes,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class TenantCacheStats:
+    """Per-tenant cache accounting (all monotone counters)."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_pct(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return 100.0 * self.hits / self.lookups
+
+    def to_dict(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "hit_pct": self.hit_pct,
+        }
+
+
+class _Entry:
+    __slots__ = ("value", "dirty", "freq", "seq", "protected")
+
+    def __init__(self, value: Any, dirty: bool, seq: int):
+        self.value = value
+        self.dirty = dirty
+        self.freq = 1
+        self.seq = seq
+        self.protected = False
+
+
+class Evicted(tuple):
+    """``(tenant, key, value, dirty)`` of one evicted entry."""
+
+    __slots__ = ()
+
+    tenant = property(lambda self: self[0])
+    key = property(lambda self: self[1])
+    value = property(lambda self: self[2])
+    dirty = property(lambda self: self[3])
+
+
+class DramCache:
+    """The functional cache: presence, dirtiness, policy, accounting."""
+
+    def __init__(self, config: CacheConfig, tenants: int):
+        if tenants < 1:
+            raise WorkloadError(f"need at least one tenant: {tenants}")
+        self.config = config
+        self.tenants = tenants
+        #: (tenant, key) -> entry, in *insertion/touch* order (an
+        #: OrderedDict so LRU and SLRU victims are O(1)).
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._protected_count = 0
+        self._seq = 0
+        self._rng = random.Random(config.seed * 2_654_435_761 + 1)
+        self.stats = {tenant: TenantCacheStats() for tenant in range(tenants)}
+        self._residency = {tenant: 0 for tenant in range(tenants)}
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def residency(self, tenant: int) -> int:
+        """Entries tenant *tenant* currently holds resident."""
+        return self._residency[tenant]
+
+    # -- internals ------------------------------------------------------
+    def _touch(self, slot: tuple, entry: _Entry) -> None:
+        self._seq += 1
+        entry.seq = self._seq
+        entry.freq += 1
+        if self.config.eviction in ("lru", "segmented"):
+            self._entries.move_to_end(slot)
+        if self.config.eviction == "segmented" and not entry.protected:
+            # A re-referenced probationary entry earns protection; the
+            # protected segment sheds its own LRU back to probation
+            # rather than growing past its share.
+            entry.protected = True
+            self._protected_count += 1
+            protected_capacity = max(
+                1, int(self.config.capacity * self.config.protected_fraction)
+            )
+            if self._protected_count > protected_capacity:
+                for other_slot, other in self._entries.items():
+                    if other.protected:
+                        other.protected = False
+                        self._protected_count -= 1
+                        self._entries.move_to_end(other_slot)
+                        break
+
+    def _victim_slot(self) -> tuple:
+        if self.config.eviction == "lru":
+            return next(iter(self._entries))
+        if self.config.eviction == "lfu":
+            return min(
+                self._entries,
+                key=lambda slot: (
+                    self._entries[slot].freq,
+                    self._entries[slot].seq,
+                ),
+            )
+        # segmented: oldest probationary entry; only when probation is
+        # empty does the protected segment give up its own LRU.
+        for slot, entry in self._entries.items():
+            if not entry.protected:
+                return slot
+        return next(iter(self._entries))
+
+    def _evict_one(self) -> Evicted:
+        slot = self._victim_slot()
+        entry = self._entries.pop(slot)
+        tenant, key = slot
+        if entry.protected:
+            self._protected_count -= 1
+        self._residency[tenant] -= 1
+        stats = self.stats[tenant]
+        stats.evictions += 1
+        if entry.dirty:
+            stats.writebacks += 1
+        return Evicted((tenant, key, entry.value, entry.dirty))
+
+    def _check_residency(self) -> None:
+        if len(self._entries) > self.config.capacity:
+            raise InvariantViolation(
+                "cache-residency",
+                "resident entries exceed capacity",
+                {
+                    "resident": len(self._entries),
+                    "capacity": self.config.capacity,
+                },
+            )
+
+    # -- the cache protocol ---------------------------------------------
+    def lookup(self, tenant: int, key: int) -> tuple[bool, Any]:
+        """Probe for (tenant, key): ``(hit, cached_value_or_None)``."""
+        stats = self.stats[tenant]
+        stats.lookups += 1
+        slot = (tenant, key)
+        entry = self._entries.get(slot)
+        if entry is None:
+            stats.misses += 1
+            return (False, None)
+        stats.hits += 1
+        self._touch(slot, entry)
+        return (True, entry.value)
+
+    def write(self, tenant: int, key: int, value: Any) -> bool:
+        """Write-back update probe: dirty the entry if resident.
+
+        Counts as a lookup (hit or miss).  On a miss the caller writes
+        the store directly (write-through for absent keys) and may then
+        :meth:`insert` the clean copy.
+        """
+        stats = self.stats[tenant]
+        stats.lookups += 1
+        slot = (tenant, key)
+        entry = self._entries.get(slot)
+        if entry is None:
+            stats.misses += 1
+            return False
+        stats.hits += 1
+        entry.value = value
+        entry.dirty = True
+        self._touch(slot, entry)
+        return True
+
+    def insert(
+        self, tenant: int, key: int, value: Any, dirty: bool = False
+    ) -> list[Evicted]:
+        """Offer (tenant, key) for admission after a miss.
+
+        Returns the entries evicted to make room (dirty ones need a PM
+        writeback, which the caller charges as memory traffic).  Under
+        probabilistic admission the offer may be rejected — then nothing
+        changes and the list is empty.
+        """
+        stats = self.stats[tenant]
+        slot = (tenant, key)
+        entry = self._entries.get(slot)
+        if entry is not None:
+            # Raced in by another client between miss and insert: fold
+            # into the resident entry instead of double-admitting.
+            entry.value = value
+            entry.dirty = entry.dirty or dirty
+            self._touch(slot, entry)
+            return []
+        if self.config.admission == "probabilistic":
+            if self._rng.random() >= self.config.admit_p:
+                stats.rejected += 1
+                return []
+        stats.admitted += 1
+        evicted = []
+        while len(self._entries) >= self.config.capacity:
+            evicted.append(self._evict_one())
+        self._seq += 1
+        new_entry = _Entry(value, dirty, self._seq)
+        self._entries[slot] = new_entry
+        self._residency[tenant] += 1
+        self._check_residency()
+        return evicted
+
+    def drain_dirty(self) -> list[Evicted]:
+        """Flush every dirty entry (end-of-run writeback), in slot order.
+
+        Entries stay resident but become clean; each flush counts as a
+        writeback for its owning tenant.
+        """
+        flushed = []
+        for slot, entry in self._entries.items():
+            if not entry.dirty:
+                continue
+            entry.dirty = False
+            tenant, key = slot
+            self.stats[tenant].writebacks += 1
+            flushed.append(Evicted((tenant, key, entry.value, True)))
+        return flushed
+
+    # -- accounting -----------------------------------------------------
+    def verify_accounting(self) -> None:
+        """Check every conservation law; raise on the first breakage."""
+        resident: dict[int, int] = {tenant: 0 for tenant in self.stats}
+        for (tenant, _key) in self._entries:
+            resident[tenant] += 1
+        self._check_residency()
+        for tenant, stats in self.stats.items():
+            context = {"tenant": tenant}
+            if stats.hits + stats.misses != stats.lookups:
+                raise InvariantViolation(
+                    "cache-lookup-conservation",
+                    "hits + misses != lookups",
+                    {
+                        **context,
+                        "hits": stats.hits,
+                        "misses": stats.misses,
+                        "lookups": stats.lookups,
+                    },
+                )
+            if resident[tenant] != self._residency[tenant]:
+                raise InvariantViolation(
+                    "cache-residency-ledger",
+                    "per-tenant residency ledger diverged from entries",
+                    {
+                        **context,
+                        "ledger": self._residency[tenant],
+                        "entries": resident[tenant],
+                    },
+                )
+            if stats.admitted != stats.evictions + resident[tenant]:
+                raise InvariantViolation(
+                    "cache-admission-conservation",
+                    "admitted != evictions + residency",
+                    {
+                        **context,
+                        "admitted": stats.admitted,
+                        "evictions": stats.evictions,
+                        "residency": resident[tenant],
+                    },
+                )
+
+    def report(self) -> dict:
+        """JSON-safe accounting snapshot (per tenant plus totals)."""
+        totals = TenantCacheStats()
+        for stats in self.stats.values():
+            totals.lookups += stats.lookups
+            totals.hits += stats.hits
+            totals.misses += stats.misses
+            totals.admitted += stats.admitted
+            totals.rejected += stats.rejected
+            totals.evictions += stats.evictions
+            totals.writebacks += stats.writebacks
+        return {
+            "eviction": self.config.eviction,
+            "admission": self.config.admission,
+            "capacity": self.config.capacity,
+            "resident": len(self._entries),
+            "tenants": {
+                f"t{tenant}": stats.to_dict()
+                for tenant, stats in sorted(self.stats.items())
+            },
+            "totals": totals.to_dict(),
+        }

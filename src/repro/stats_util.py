@@ -1,0 +1,39 @@
+"""Shared order-statistics helpers (nearest-rank percentiles).
+
+The runner's per-run wall-time tail summary and the service layer's
+latency histograms both report nearest-rank percentiles; this module is
+the single definition of that rank arithmetic so the two cannot drift.
+
+The convention is the classic nearest-rank estimator: the percentile of
+a sample of ``count`` ordered values at ``fraction`` is the value at
+(1-based) rank ``round(fraction * count)``, clamped into the sample.
+It always returns an observed value (no interpolation), which keeps
+every derived statistic exactly reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def nearest_rank_index(count: int, fraction: float) -> int:
+    """The 0-based index of the nearest-rank percentile in a sorted sample.
+
+    ``count`` is the sample size; ``fraction`` the percentile in [0, 1].
+    The result is clamped to ``[0, count - 1]``, so any fraction is safe
+    against a non-empty sample.  ``count`` must be positive.
+    """
+    if count <= 0:
+        raise ValueError(f"sample count must be positive: {count}")
+    return min(count - 1, max(0, round(fraction * count) - 1))
+
+
+def percentile(values: Sequence[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of *values* (``None`` for an empty sample).
+
+    Sorts a copy; the input order is irrelevant and unmodified.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    return ordered[nearest_rank_index(len(ordered), fraction)]

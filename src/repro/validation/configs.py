@@ -54,6 +54,9 @@ class RunOutcome:
     #: :meth:`~repro.explore.ExploreReport.to_dict` of a model-checking
     #: run (None otherwise).
     explore_report: Optional[dict] = None
+    #: :meth:`~repro.service.kvservice.ServiceResult.report` of a KV
+    #: service run (None otherwise).
+    service_report: Optional[dict] = None
 
 
 def _fault_setup(
@@ -144,6 +147,44 @@ def run_conf1(
         attach_trace(quartz, sink=trace_sink)
     outcome = _drive(os, body_factory)
     outcome.quartz_stats = quartz.stats
+    return _fault_finish(outcome, engine, monitor)
+
+
+def run_service(
+    arch: ArchSpec,
+    body_factory: BodyFactory,
+    quartz_config: QuartzConfig,
+    seed: int = 0,
+    calibration: Optional[CalibrationData] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
+) -> RunOutcome:
+    """Conf_1 driving the multi-tenant KV service.
+
+    Identical machine setup to :func:`run_conf1` (local memory, Quartz
+    emulating the target latency); the only difference is the outcome's
+    ``service_report`` — the per-tenant tail-latency/throughput/cache
+    summary of :class:`~repro.service.kvservice.ServiceResult`.  The
+    service body runs its DRAM-cache accounting conservation check on
+    every completion path, so a faulted run that corrupts cache
+    bookkeeping surfaces as an :class:`~repro.errors.InvariantViolation`
+    here, not as silently wrong tails.
+    """
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, arch, latency_jitter=True)
+    os = SimOS(machine, default_cpu_node=0)
+    engine, monitor = _fault_setup(machine, os, seed, fault_plan, check_invariants)
+    calibration = calibration or calibrate_arch(arch)
+    if engine is not None:
+        calibration = engine.perturb_calibration(calibration)
+    quartz = Quartz(os, quartz_config, calibration=calibration)
+    quartz.attach()
+    if monitor is not None:
+        monitor.attach_quartz(quartz)
+    outcome = _drive(os, body_factory)
+    outcome.quartz_stats = quartz.stats
+    if outcome.workload_result is not None:
+        outcome.service_report = outcome.workload_result.report()
     return _fault_finish(outcome, engine, monitor)
 
 

@@ -42,10 +42,16 @@ from repro.validation.experiments.tiers import (
     run_migration_policy,
     run_tier_sweep,
 )
+from repro.validation.experiments.service import (
+    SERVICE_PRESETS,
+    run_cache_policy,
+    run_service_latency,
+)
 from repro.validation.experiments.sweeps import (
     SWEEP_PRESETS,
     run_latency_grid,
     run_migration_grid,
+    run_service_grid,
     run_tier_grid,
 )
 
@@ -77,13 +83,17 @@ REGISTRY = {
     "explore-check": run_explore_check,
     "tier-sweep": run_tier_sweep,
     "migration-policy": run_migration_policy,
+    # The trace-driven multi-tenant KV service (repro.service).
+    "service-latency": run_service_latency,
+    "cache-policy": run_cache_policy,
     # Streaming sweep grids (see repro.validation.sweep): the same
     # presets `quartz-repro sweep` checkpoints, run inline.
     "sweep-latency-grid": run_latency_grid,
     "sweep-tier-grid": run_tier_grid,
     "sweep-migration-grid": run_migration_grid,
+    "sweep-service-grid": run_service_grid,
 }
 
-__all__ = ["REGISTRY", "SWEEP_PRESETS"] + sorted(
+__all__ = ["REGISTRY", "SERVICE_PRESETS", "SWEEP_PRESETS"] + sorted(
     name for name in dir() if name.startswith("run_")
 )

@@ -21,6 +21,7 @@ from repro.explore import LitmusConfig
 from repro.hw.arch import IVY_BRIDGE
 from repro.units import MIB
 from repro.validation.experiments import REGISTRY
+from repro.validation.experiments.service import SERVICE_PRESETS
 from repro.validation.reporting import ExperimentResult
 from repro.workloads.graph500 import Graph500Config
 from repro.workloads.graphs import synthetic_power_law, synthetic_scale_free
@@ -157,6 +158,9 @@ FAST_KWARGS: dict[str, Callable[[], dict]] = {
     "sweep-latency-grid": lambda: {"scale": "smoke"},
     "sweep-tier-grid": lambda: {"scale": "smoke"},
     "sweep-migration-grid": lambda: {"scale": "smoke"},
+    "sweep-service-grid": lambda: {"scale": "smoke"},
+    "service-latency": lambda: SERVICE_PRESETS["latency-smoke"][1](),
+    "cache-policy": lambda: SERVICE_PRESETS["policy-smoke"][1](),
 }
 
 

@@ -284,6 +284,105 @@ def _migration_grid_row(spec: RunSpec, result: RunResult) -> dict:
 
 
 # ----------------------------------------------------------------------
+# service-grid: KV service across tier ladders and bandwidth throttles
+# ----------------------------------------------------------------------
+
+_SERVICE_GRID_SCALES = {
+    "smoke": dict(
+        factors=(1.0,), bandwidths=(2.0,), seeds=1,
+        ops=300, keys=4_000, capacity=256,
+    ),
+    "small": dict(
+        factors=(1.0, 1.5, 2.0), bandwidths=(1.0, 2.0, 5.0), seeds=3,
+        ops=1_000, keys=20_000, capacity=1_024,
+    ),
+    "large": dict(
+        factors=(1.0, 1.25, 1.5, 2.0, 2.5, 3.0),
+        bandwidths=(0.5, 1.0, 2.0, 5.0, 10.0, 20.0), seeds=8,
+        ops=2_000, keys=50_000, capacity=2_048,
+    ),
+}
+
+
+def _build_service_grid(scale: str) -> list:
+    from repro.service.cache import CacheConfig
+    from repro.service.kvservice import ServiceConfig
+    from repro.service.traces import TraceConfig
+
+    kwargs = _scale_kwargs("service-grid", _SERVICE_GRID_SCALES, scale)
+    calibration = calibrate_arch(IVY_BRIDGE)
+    workload = ServiceConfig(
+        trace=TraceConfig(
+            tenants=2,
+            ops_per_tenant=kwargs["ops"],
+            keys_per_tenant=kwargs["keys"],
+            seed=_GRID_SEED,
+        ),
+        cache=CacheConfig(capacity=kwargs["capacity"]),
+        clients_per_tenant=2,
+    )
+    # Two cell families: the store placed across a scaled tier ladder,
+    # and a two-memory NVM with a throttled write-bandwidth ceiling.
+    quartz_cells = []
+    for factor in kwargs["factors"]:
+        quartz_cells.append(
+            QuartzConfig(
+                mode=EmulationMode.MULTI_TIER,
+                tiers=_scaled_tiers(factor, calibration.dram_local_ns),
+                placement_policy="static",
+                placement_order=tuple(range(1, len(_BASE_LADDER) + 1)),
+                max_epoch_ns=1.0 * MILLISECOND,
+            )
+        )
+    for bandwidth in kwargs["bandwidths"]:
+        quartz_cells.append(
+            QuartzConfig(
+                nvm_read_latency_ns=500.0,
+                nvm_write_latency_ns=1_000.0,
+                nvm_bandwidth_gbps=bandwidth,
+            )
+        )
+    specs = []
+    for quartz in quartz_cells:
+        for seed_offset in range(kwargs["seeds"]):
+            specs.append(
+                RunSpec(
+                    workload="kvservice", config=workload,
+                    arch_name=IVY_BRIDGE.name, mode="service",
+                    seed=_GRID_SEED + seed_offset, quartz=quartz,
+                )
+            )
+    return specs
+
+
+def _service_grid_row(spec: RunSpec, result: RunResult) -> dict:
+    quartz = spec.quartz
+    if quartz.mode is EmulationMode.MULTI_TIER:
+        cell = "tiered"
+        tiers = len(quartz.tiers)
+        read_ns = quartz.tiers[-1].read_latency_ns
+        bandwidth = 0.0
+    else:
+        cell = "throttled"
+        tiers = 2
+        read_ns = quartz.nvm_read_latency_ns
+        bandwidth = quartz.nvm_bandwidth_gbps or 0.0
+    report = result.service_report
+    return {
+        "arch": spec.arch_name,
+        "cell": cell,
+        "tiers": tiers,
+        "read_ns": read_ns,
+        "bandwidth_gbps": bandwidth,
+        "seed": spec.seed,
+        "ops": report["overall"]["ops"],
+        "hit_pct": report["cache"]["totals"]["hit_pct"],
+        "p99_us": (report["overall"]["p99_ns"] or 0.0) / 1e3,
+        "throughput_kops": report["overall"]["throughput_ops_s"] / 1e3,
+    }
+
+
+# ----------------------------------------------------------------------
 # The preset registry
 # ----------------------------------------------------------------------
 
@@ -316,6 +415,22 @@ SWEEP_PRESETS: dict[str, SweepPreset] = {
         notes=(
             "base 3-tier ladder scaled per cell; error vs the N-tier "
             "closed form (static placement, one array per tier)",
+        ),
+    ),
+    "service-grid": SweepPreset(
+        name="service-grid",
+        title="KV service tails across tier ladders and bandwidth throttles",
+        columns=(
+            "arch", "cell", "tiers", "read_ns", "bandwidth_gbps", "seed",
+            "ops", "hit_pct", "p99_us", "throughput_kops",
+        ),
+        scales=tuple(sorted(_SERVICE_GRID_SCALES)),
+        build=_build_service_grid,
+        row=_service_grid_row,
+        notes=(
+            "one multi-tenant service run per cell: tiered cells place "
+            "the store across a scaled ladder, throttled cells cap NVM "
+            "write bandwidth at 500/1000 ns latency",
         ),
     ),
     "migration-grid": SweepPreset(
@@ -479,3 +594,10 @@ def run_migration_grid(
 ) -> ExperimentResult:
     """Placement policy x threshold study as a streaming sweep."""
     return _run_inline("migration-grid", scale, jobs)
+
+
+def run_service_grid(
+    scale: str = "small", jobs: Optional[int] = None
+) -> ExperimentResult:
+    """KV-service tails across tiers and throttles (streaming sweep)."""
+    return _run_inline("service-grid", scale, jobs)

@@ -96,6 +96,11 @@ class RunManifest:
     #: invocation (None otherwise).  Digest-covered: pruning and budget
     #: settings decide what "explored exhaustively" means.
     explore: Optional[dict] = None
+    #: The service scenario of a KV-service invocation (None otherwise):
+    #: trace/cache/client configuration, via
+    #: :meth:`~repro.service.kvservice.ServiceConfig.to_dict`.
+    #: Digest-covered — the offered load is part of what tails mean.
+    service: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -113,6 +118,9 @@ class RunManifest:
             "crash": dict(self.crash) if self.crash is not None else None,
             "explore": (
                 dict(self.explore) if self.explore is not None else None
+            ),
+            "service": (
+                dict(self.service) if self.service is not None else None
             ),
         }
 
@@ -147,6 +155,11 @@ class RunManifest:
                     if payload.get("explore") is not None
                     else None
                 ),
+                service=(
+                    dict(payload["service"])
+                    if payload.get("service") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ValidationError(f"malformed manifest payload: {error}")
@@ -158,6 +171,7 @@ def build_manifest(
     faults: Optional[dict] = None,
     crash: Optional[dict] = None,
     explore: Optional[dict] = None,
+    service: Optional[dict] = None,
 ) -> RunManifest:
     """Assemble a manifest from a driver invocation's runner stats.
 
@@ -167,7 +181,8 @@ def build_manifest(
     is the active :meth:`~repro.faults.plan.FaultPlan.to_dict` (if any);
     ``crash`` the :meth:`~repro.pmem.crash.CrashPlan.to_dict` of a
     crash-checked invocation; ``explore`` the
-    :meth:`~repro.explore.ExplorePlan.to_dict` of a model-checking one.
+    :meth:`~repro.explore.ExplorePlan.to_dict` of a model-checking one;
+    ``service`` the scenario dict of a KV-service one.
     """
     archs: dict = {}
     workloads: tuple = ()
@@ -196,6 +211,7 @@ def build_manifest(
         faults=dict(faults) if faults is not None else None,
         crash=dict(crash) if crash is not None else None,
         explore=dict(explore) if explore is not None else None,
+        service=dict(service) if service is not None else None,
     )
 
 
@@ -282,17 +298,18 @@ def write_experiment_json(
     faults: Optional[dict] = None,
     crash: Optional[dict] = None,
     explore: Optional[dict] = None,
+    service: Optional[dict] = None,
 ) -> dict:
     """Serialize one experiment to *path*; returns the written document.
 
     The manifest defaults to :func:`build_manifest` over ``stats``,
-    ``knobs``, ``faults``, ``crash``, and ``explore``; telemetry is
-    taken from ``stats`` when present.
+    ``knobs``, ``faults``, ``crash``, ``explore``, and ``service``;
+    telemetry is taken from ``stats`` when present.
     """
     if manifest is None:
         manifest = build_manifest(
             stats=stats, knobs=knobs, faults=faults, crash=crash,
-            explore=explore,
+            explore=explore, service=service,
         )
     telemetry = stats.telemetry() if stats is not None else None
     document = build_document(result, manifest, telemetry=telemetry)

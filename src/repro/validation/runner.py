@@ -44,6 +44,8 @@ from repro.quartz.config import QuartzConfig
 from repro.quartz.stats import QuartzStats
 from repro.explore.litmus import disjoint_locks_body, mutex_log_body
 from repro.pmem.domain import PersistenceDomain
+from repro.service.kvservice import kvservice_main_body
+from repro.stats_util import percentile
 from repro.validation.configs import (
     RunOutcome,
     run_chase,
@@ -52,6 +54,7 @@ from repro.validation.configs import (
     run_crash,
     run_explore,
     run_native,
+    run_service,
     run_throttled,
 )
 from repro.workloads.graph500 import graph500_body
@@ -99,6 +102,9 @@ WORKLOADS: dict[str, Callable[[Any, dict], Callable]] = {
     "disjoint-locks": lambda config, extras: (
         lambda out: disjoint_locks_body(config, out, PersistenceDomain())
     ),
+    "kvservice": lambda config, extras: (
+        lambda out: kvservice_main_body(config, out)
+    ),
 }
 
 #: Mode -> testbed configuration (see ``repro.validation.configs``).
@@ -106,8 +112,13 @@ WORKLOADS: dict[str, Callable[[Any, dict], Callable]] = {
 #: (``repro.pmem``); its extras carry ``crash_plan`` (required) and
 #: optionally ``shard``/``shards``/``mutant``.  ``explore`` is the
 #: model-checking mode (``repro.explore``); its extras carry
-#: ``explore_plan`` (required) plus the same optional keys.
-MODES = ("conf1", "conf2", "native", "chase", "throttled", "crash", "explore")
+#: ``explore_plan`` (required) plus the same optional keys.  ``service``
+#: is Conf_1 driving the multi-tenant KV service (``repro.service``);
+#: the result's ``service_report`` carries the tail-latency summary.
+MODES = (
+    "conf1", "conf2", "native", "chase", "throttled", "crash", "explore",
+    "service",
+)
 
 
 @dataclass(frozen=True)
@@ -136,7 +147,7 @@ class RunSpec:
             raise ValidationError(f"unknown workload id: {self.workload!r}")
         if self.mode not in MODES:
             raise ValidationError(f"unknown run mode: {self.mode!r}")
-        if self.mode in ("conf1", "crash") and self.quartz is None:
+        if self.mode in ("conf1", "crash", "service") and self.quartz is None:
             raise ValidationError(f"{self.mode} runs need a QuartzConfig")
         if self.mode == "crash" and "crash_plan" not in self.extras:
             raise ValidationError("crash runs need a CrashPlan in extras")
@@ -174,6 +185,8 @@ class RunResult:
     crash_report: Optional[dict] = None
     #: Explore report dict of an ``explore``-mode run (None otherwise).
     explore_report: Optional[dict] = None
+    #: Service report dict of a ``service``-mode run (None otherwise).
+    service_report: Optional[dict] = None
 
 
 # ----------------------------------------------------------------------
@@ -239,6 +252,15 @@ def _execute(
         if sink is not None and outcome.quartz_stats is not None:
             sink.write_stats(outcome.quartz_stats)
         return outcome
+    if spec.mode == "service":
+        return run_service(
+            arch,
+            factory,
+            spec.quartz,
+            seed=spec.seed,
+            calibration=calibrate_arch(arch, seed=spec.calibration_seed),
+            **faults,
+        )
     if spec.mode == "conf2":
         return run_conf2(arch, factory, seed=spec.seed, **faults)
     if spec.mode == "native":
@@ -304,6 +326,7 @@ def _run_one(payload: tuple) -> RunResult:
         max_epoch_length_ns=invariants.get("max_epoch_length_ns", 0.0),
         crash_report=outcome.crash_report,
         explore_report=outcome.explore_report,
+        service_report=outcome.service_report,
     )
 
 
@@ -340,7 +363,7 @@ def _prewarm_calibrations(specs: Sequence[RunSpec]) -> int:
     fingerprints: dict[str, str] = {}
     needed: dict[tuple[str, int], tuple[str, int]] = {}
     for spec in specs:
-        if spec.mode not in ("conf1", "crash"):
+        if spec.mode not in ("conf1", "crash", "service"):
             continue
         fingerprint = fingerprints.get(spec.arch_name)
         if fingerprint is None:
@@ -519,6 +542,13 @@ class RunnerStats:
     explore_pruned: int = 0
     explore_images_checked: int = 0
     explore_violations: int = 0
+    #: KV-service aggregates (``service``-mode runs only): runs, total
+    #: operations, the worst p99 seen, and per-tenant rollups
+    #: (tenant -> {runs, ops, p99_ns_max, throughput_ops_s_sum}).
+    service_runs: int = 0
+    service_ops: int = 0
+    service_p99_ns_max: float = 0.0
+    service_tenants: dict = field(default_factory=dict)
 
     @property
     def calib_hits(self) -> int:
@@ -539,11 +569,7 @@ class RunnerStats:
 
     def wall_percentile(self, fraction: float) -> Optional[float]:
         """Nearest-rank percentile of the per-run wall times (seconds)."""
-        if not self.run_wall_times:
-            return None
-        ordered = sorted(self.run_wall_times)
-        rank = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
-        return ordered[rank]
+        return percentile(self.run_wall_times, fraction)
 
     @property
     def wall_p50_s(self) -> Optional[float]:
@@ -597,6 +623,12 @@ class RunnerStats:
                 f"({self.explore_pruned} pruned), "
                 f"{self.explore_images_checked} image(s) checked, "
                 f"{self.explore_violations} violation(s)"
+            )
+        if self.service_runs:
+            line += (
+                f"; service: {self.service_ops:,} op(s) over "
+                f"{len(self.service_tenants)} tenant(s), "
+                f"worst p99 {self.service_p99_ns_max / 1e3:.1f}us"
             )
         return line
 
@@ -657,6 +689,16 @@ class RunnerStats:
                 "images_checked": self.explore_images_checked,
                 "violations": self.explore_violations,
             }
+        if self.service_runs:
+            payload["service"] = {
+                "runs": self.service_runs,
+                "ops": self.service_ops,
+                "p99_ns_max": self.service_p99_ns_max,
+                "tenants": {
+                    tenant: dict(rollup)
+                    for tenant, rollup in sorted(self.service_tenants.items())
+                },
+            }
         return payload
 
 
@@ -696,7 +738,7 @@ def _record_spec(stats: RunnerStats, spec: RunSpec) -> None:
     stats.workloads.add(spec.workload)
     stats.modes.add(spec.mode)
     stats.seeds.add(spec.seed)
-    if spec.mode == "conf1":
+    if spec.mode in ("conf1", "service"):
         stats.calibration_seeds.add(spec.calibration_seed)
 
 
@@ -726,6 +768,24 @@ def _record_result(stats: RunnerStats, result: RunResult) -> None:
         stats.crash_violations += result.crash_report.get(
             "violation_total", 0
         )
+    if result.service_report is not None:
+        stats.service_runs += 1
+        overall = result.service_report.get("overall", {})
+        stats.service_ops += overall.get("ops", 0)
+        for tenant, report in result.service_report.get("tenants", {}).items():
+            p99 = report.get("p99_ns") or 0.0
+            stats.service_p99_ns_max = max(stats.service_p99_ns_max, p99)
+            rollup = stats.service_tenants.setdefault(
+                tenant,
+                {"runs": 0, "ops": 0, "p99_ns_max": 0.0,
+                 "throughput_ops_s_sum": 0.0},
+            )
+            rollup["runs"] += 1
+            rollup["ops"] += report.get("ops", 0)
+            rollup["p99_ns_max"] = max(rollup["p99_ns_max"], p99)
+            rollup["throughput_ops_s_sum"] += report.get(
+                "throughput_ops_s", 0.0
+            )
     if result.explore_report is not None:
         stats.explore_schedules += result.explore_report.get("schedules", 0)
         stats.explore_executions += result.explore_report.get("executions", 0)

@@ -27,6 +27,92 @@ from repro.workloads.btree import BPlusTree
 
 
 @dataclass(frozen=True)
+class KvRecordLayout:
+    """The on-PM record shape shared by every KV-store incarnation.
+
+    One place defines how a key maps to its stored payload and how much
+    persistent memory records and index nodes occupy — the
+    microbenchmark (:func:`kvstore_main_body`), the crash-checkable
+    variant (:class:`RecoverableKvStore`), and the service-layer store
+    (:mod:`repro.service.kvservice`) all derive their footprints and
+    value codecs from the same layout, so a latency comparison between
+    them is apples-to-apples.
+    """
+
+    node_order: int = 16
+    node_bytes: int = 512
+    value_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.node_order < 2:
+            raise WorkloadError(f"node order must be >= 2: {self.node_order}")
+        if self.node_bytes < CACHE_LINE_BYTES:
+            raise WorkloadError(
+                f"node smaller than a cache line: {self.node_bytes}"
+            )
+        if self.value_bytes < 1:
+            raise WorkloadError(f"value size must be positive: {self.value_bytes}")
+
+    # -- key codec ------------------------------------------------------
+    def value_checksum(self, key: int, salt: int = 0) -> int:
+        """The integer a put stores (and a verified get expects)."""
+        return key * 31 + salt
+
+    def value_payload(self, key: int, salt: int = 0) -> tuple:
+        """The durable line payload of one record (persistence domain)."""
+        return ("val", key, self.value_checksum(key, salt))
+
+    # -- value/index sizing ---------------------------------------------
+    def value_footprint(self, records: int) -> int:
+        """Working-set bytes of the value heap for *records* live records."""
+        return max(64, records * self.value_bytes)
+
+    def arena_bytes(self, records: int) -> int:
+        """PM arena size for a store holding *records* records."""
+        node_estimate = (records * 2 // self.node_order + 64) * self.node_bytes
+        value_estimate = records * self.value_bytes
+        return max(64 * MIB, 4 * node_estimate + 2 * value_estimate)
+
+    def header_arena_bytes(self, records: int) -> int:
+        """PM arena size of the header-indexed durable log variant."""
+        return max(MIB, (1 + records) * CACHE_LINE_BYTES)
+
+    def level_footprints(self, records: int) -> tuple:
+        """Analytic per-level index footprints, root first (bytes).
+
+        The microbenchmark walks a real
+        :meth:`~repro.workloads.btree.BPlusTree.level_footprints`; the
+        service store holds key counts far too large to materialise, so
+        it prices the same dependent walk from half-full-node tree
+        arithmetic instead.
+        """
+        if records <= 0:
+            return (self.node_bytes,)
+        # B+-tree nodes run half full in steady state.
+        per_node = max(1, self.node_order // 2)
+        counts = [max(1, -(-records // per_node))]
+        while counts[0] > 1:
+            counts.insert(0, max(1, -(-counts[0] // per_node)))
+        return tuple(count * self.node_bytes for count in counts)
+
+    def to_dict(self) -> dict:
+        return {
+            "node_order": self.node_order,
+            "node_bytes": self.node_bytes,
+            "value_bytes": self.value_bytes,
+        }
+
+
+def layout_for(config: "KvStoreConfig") -> KvRecordLayout:
+    """The record layout a :class:`KvStoreConfig` implies."""
+    return KvRecordLayout(
+        node_order=config.node_order,
+        node_bytes=config.node_bytes,
+        value_bytes=config.value_bytes,
+    )
+
+
+@dataclass(frozen=True)
 class KvStoreConfig:
     """Parameters of one KV-store run."""
 
@@ -94,11 +180,7 @@ class KvStoreResult:
 
 
 def _arena_bytes(config: KvStoreConfig) -> int:
-    node_estimate = (
-        config.puts_per_thread * 2 // config.node_order + 64
-    ) * config.node_bytes
-    value_estimate = config.puts_per_thread * config.value_bytes
-    return max(64 * MIB, 4 * node_estimate + 2 * value_estimate)
+    return layout_for(config).arena_bytes(config.puts_per_thread)
 
 
 def _tree_traffic(ctx, tree, arena, ops, config, is_put):
@@ -117,8 +199,9 @@ def _tree_traffic(ctx, tree, arena, ops, config, is_put):
             compute_cycles_per_access=config.compute_cycles_per_level,
             label="kv-level",
         )
-    value_footprint = min(len(tree) * config.value_bytes, arena.size_bytes)
-    value_footprint = max(value_footprint, 64)
+    value_footprint = min(
+        layout_for(config).value_footprint(len(tree)), arena.size_bytes
+    )
     if is_put:
         yield MemBatch(
             arena,
@@ -146,6 +229,7 @@ def _tree_traffic(ctx, tree, arena, ops, config, is_put):
 
 def _put_worker(ctx, config: KvStoreConfig, tree: BPlusTree, arena, thread_index):
     rng = ctx.rng("kv-put")
+    layout = layout_for(config)
     keys = list(
         range(thread_index, thread_index + config.threads * config.puts_per_thread,
               config.threads)
@@ -155,7 +239,7 @@ def _put_worker(ctx, config: KvStoreConfig, tree: BPlusTree, arena, thread_index
     while done < len(keys):
         batch = keys[done : done + config.batch_ops]
         for key in batch:
-            tree.insert(key, key * 31 + thread_index)
+            tree.insert(key, layout.value_checksum(key, thread_index))
         yield from _tree_traffic(ctx, tree, arena, len(batch), config, is_put=True)
         done += len(batch)
     return done
@@ -163,6 +247,7 @@ def _put_worker(ctx, config: KvStoreConfig, tree: BPlusTree, arena, thread_index
 
 def _get_worker(ctx, config: KvStoreConfig, tree: BPlusTree, arena, thread_index):
     rng = ctx.rng("kv-get")
+    layout = layout_for(config)
     key_space = config.threads * config.puts_per_thread
     verified = 0
     done = 0
@@ -172,7 +257,7 @@ def _get_worker(ctx, config: KvStoreConfig, tree: BPlusTree, arena, thread_index
             key = rng.randrange(key_space // config.threads) * config.threads
             key += thread_index
             value = tree.get(key)
-            if value == key * 31 + thread_index:
+            if value == layout.value_checksum(key, thread_index):
                 verified += 1
         yield from _tree_traffic(ctx, tree, arena, batch, config, is_put=False)
         done += batch
@@ -270,11 +355,13 @@ def _kv_arena_label(thread_index: int) -> str:
 
 
 def _kv_value_payload(key: int, thread_index: int) -> tuple:
-    return ("val", key, key * 31 + thread_index)
+    # The key codec is layout-independent (payloads are whole lines);
+    # delegate to the shared layout so the codec has one definition.
+    return KvRecordLayout().value_payload(key, thread_index)
 
 
 def _pm_arena_bytes(config: KvStoreConfig) -> int:
-    return max(MIB, (1 + config.puts_per_thread) * CACHE_LINE_BYTES)
+    return layout_for(config).header_arena_bytes(config.puts_per_thread)
 
 
 def _recoverable_put_worker(ctx, config, domain, mutant, thread_index):

@@ -16,7 +16,8 @@ To regenerate after an *intentional* behaviour change::
     digests = {}
     for eid in ("figure12", "figure14", "table2", "epoch-size-study",
                 "figure16-latency", "crash-check", "tier-sweep",
-                "migration-policy", "explore-check"):
+                "migration-policy", "explore-check", "service-latency",
+                "cache-policy"):
         reset_run_stats()
         result = run_fast(eid, jobs=1)
         digests[eid] = export.experiment_digest(
@@ -99,6 +100,16 @@ def test_tier_sweep_digest_identical_across_worker_counts():
     result = run_fast("tier-sweep", jobs=2)
     digest = export.experiment_digest({"experiment": result.to_dict()})
     assert digest == GOLDEN["tier-sweep"]
+
+
+def test_service_latency_digest_identical_across_worker_counts():
+    # The KV service fans out one spec per NVM latency pair; shared
+    # Python state (cache, ledgers) lives inside each run's simulator,
+    # so worker count must not be able to reach the rows.
+    reset_run_stats()
+    result = run_fast("service-latency", jobs=2)
+    digest = export.experiment_digest({"experiment": result.to_dict()})
+    assert digest == GOLDEN["service-latency"]
 
 
 def test_golden_file_is_well_formed():

@@ -1,0 +1,236 @@
+"""Policy behaviour and conservation laws of the DRAM cache tier."""
+
+import pytest
+
+from repro.errors import InvariantViolation, WorkloadError
+from repro.service import CacheConfig, DramCache
+
+
+def _filled(config: CacheConfig, tenants: int = 1, keys: int = 0) -> DramCache:
+    cache = DramCache(config, tenants)
+    for key in range(keys):
+        cache.insert(0, key, f"v{key}")
+    return cache
+
+
+# ----------------------------------------------------------------------
+# Eviction policies
+# ----------------------------------------------------------------------
+
+
+def test_lru_evicts_least_recently_touched():
+    cache = _filled(CacheConfig(capacity=3, eviction="lru"), keys=3)
+    cache.lookup(0, 0)  # 0 is now the most recent; 1 is the LRU
+    evicted = cache.insert(0, 99, "new")
+    assert [e.key for e in evicted] == [1]
+    assert cache.lookup(0, 0)[0] is True
+
+
+def test_lfu_keeps_frequent_entries():
+    cache = _filled(CacheConfig(capacity=3, eviction="lfu"), keys=3)
+    for _ in range(5):
+        cache.lookup(0, 0)
+        cache.lookup(0, 2)
+    evicted = cache.insert(0, 99, "new")
+    assert [e.key for e in evicted] == [1]
+
+
+def test_segmented_protects_rereferenced_entries():
+    # One-hit wonders (inserted, never touched again) must be displaced
+    # before entries that earned protection by a second reference.
+    cache = _filled(
+        CacheConfig(capacity=4, eviction="segmented", protected_fraction=0.5),
+        keys=2,
+    )
+    cache.lookup(0, 0)
+    cache.lookup(0, 1)  # keys 0 and 1 promoted to the protected segment
+    cache.insert(0, 2, "wonder-a")
+    cache.insert(0, 3, "wonder-b")
+    victims = [cache.insert(0, 10 + i, "x")[0].key for i in range(2)]
+    assert victims == [2, 3]
+    assert cache.lookup(0, 0)[0] and cache.lookup(0, 1)[0]
+
+
+def test_segmented_protected_segment_is_bounded():
+    config = CacheConfig(
+        capacity=4, eviction="segmented", protected_fraction=0.5
+    )
+    cache = _filled(config, keys=4)
+    for key in range(4):  # try to promote everything
+        cache.lookup(0, key)
+    # Protection is capped at capacity * protected_fraction = 2, so an
+    # insert still finds a probationary victim.
+    assert len(cache.insert(0, 99, "new")) == 1
+
+
+# ----------------------------------------------------------------------
+# Admission
+# ----------------------------------------------------------------------
+
+
+def test_probabilistic_admission_rejects_some_offers():
+    config = CacheConfig(
+        capacity=1_000, admission="probabilistic", admit_p=0.5, seed=3
+    )
+    cache = DramCache(config, 1)
+    for key in range(400):
+        cache.insert(0, key, key)
+    stats = cache.stats[0]
+    assert stats.admitted + stats.rejected == 400
+    assert 0 < stats.rejected < 400
+    assert stats.admitted == pytest.approx(200, abs=60)
+    cache.verify_accounting()
+
+
+def test_admission_stream_is_seed_deterministic():
+    def admitted(seed: int) -> list:
+        config = CacheConfig(
+            capacity=100, admission="probabilistic", admit_p=0.5, seed=seed
+        )
+        cache = DramCache(config, 1)
+        return [bool(cache.insert(0, key, key) is not None
+                     and cache.lookup(0, key)[0]) for key in range(50)]
+
+    assert admitted(7) == admitted(7)
+    assert admitted(7) != admitted(8)
+
+
+def test_resident_reinsert_folds_instead_of_double_admitting():
+    cache = _filled(CacheConfig(capacity=4), keys=1)
+    assert cache.insert(0, 0, "newer", dirty=True) == []
+    assert cache.stats[0].admitted == 1
+    assert cache.lookup(0, 0) == (True, "newer")
+    assert len(cache.drain_dirty()) == 1  # the fold kept the dirty bit
+    cache.verify_accounting()
+
+
+# ----------------------------------------------------------------------
+# Write-back semantics
+# ----------------------------------------------------------------------
+
+
+def test_write_hit_dirties_and_eviction_writes_back():
+    cache = _filled(CacheConfig(capacity=2), keys=2)
+    assert cache.write(0, 0, "updated") is True
+    cache.lookup(0, 1)  # key 0 becomes the LRU victim
+    evicted = cache.insert(0, 9, "x")
+    assert len(evicted) == 1
+    assert (evicted[0].key, evicted[0].value, evicted[0].dirty) == (
+        0, "updated", True,
+    )
+    assert cache.stats[0].writebacks == 1
+
+
+def test_write_miss_is_counted_and_changes_nothing():
+    cache = DramCache(CacheConfig(capacity=2), 1)
+    assert cache.write(0, 5, "v") is False
+    assert cache.stats[0].misses == 1
+    assert len(cache) == 0
+
+
+def test_drain_flushes_dirty_entries_once():
+    cache = DramCache(CacheConfig(capacity=8), 1)
+    cache.insert(0, 0, "a", dirty=True)
+    cache.insert(0, 1, "b")
+    cache.insert(0, 2, "c", dirty=True)
+    flushed = cache.drain_dirty()
+    assert sorted(e.key for e in flushed) == [0, 2]
+    assert cache.stats[0].writebacks == 2
+    assert cache.drain_dirty() == []  # now clean; entries stay resident
+    assert len(cache) == 3
+    cache.verify_accounting()
+
+
+# ----------------------------------------------------------------------
+# Accounting invariants
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("eviction", ["lru", "lfu", "segmented"])
+@pytest.mark.parametrize("admission", ["always", "probabilistic"])
+def test_accounting_conserves_under_mixed_traffic(eviction, admission):
+    import random
+
+    config = CacheConfig(
+        capacity=32, eviction=eviction, admission=admission, admit_p=0.6,
+        seed=1,
+    )
+    cache = DramCache(config, tenants=2)
+    rng = random.Random(42)
+    for _ in range(2_000):
+        tenant = rng.randrange(2)
+        key = rng.randrange(100)
+        action = rng.random()
+        if action < 0.5:
+            hit, _value = cache.lookup(tenant, key)
+            if not hit:
+                cache.insert(tenant, key, key)
+        elif action < 0.8:
+            if not cache.write(tenant, key, key + 1):
+                cache.insert(tenant, key, key + 1)
+        else:
+            cache.insert(tenant, key, key, dirty=True)
+    cache.drain_dirty()
+    cache.verify_accounting()
+    for tenant in range(2):
+        stats = cache.stats[tenant]
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.admitted == stats.evictions + cache.residency(tenant)
+
+
+def test_residency_never_exceeds_capacity():
+    cache = DramCache(CacheConfig(capacity=4), 2)
+    for key in range(50):
+        cache.insert(key % 2, key, key)
+        assert len(cache) <= 4
+    assert cache.residency(0) + cache.residency(1) == len(cache)
+    cache.verify_accounting()
+
+
+def test_verify_accounting_detects_tampering():
+    cache = _filled(CacheConfig(capacity=8), keys=4)
+    cache.lookup(0, 0)
+    cache.stats[0].hits += 1  # corrupt the ledger
+    with pytest.raises(InvariantViolation) as excinfo:
+        cache.verify_accounting()
+    assert excinfo.value.invariant == "cache-lookup-conservation"
+
+    cache2 = _filled(CacheConfig(capacity=8), keys=4)
+    cache2._residency[0] -= 1
+    with pytest.raises(InvariantViolation) as excinfo:
+        cache2.verify_accounting()
+    assert excinfo.value.invariant == "cache-residency-ledger"
+
+    cache3 = _filled(CacheConfig(capacity=8), keys=4)
+    cache3.stats[0].admitted += 1
+    with pytest.raises(InvariantViolation) as excinfo:
+        cache3.verify_accounting()
+    assert excinfo.value.invariant == "cache-admission-conservation"
+
+
+def test_report_totals_match_per_tenant_sums():
+    cache = DramCache(CacheConfig(capacity=8), tenants=2)
+    for key in range(6):
+        cache.insert(key % 2, key, key)
+        cache.lookup(key % 2, key)
+    report = cache.report()
+    per_tenant = report["tenants"]
+    assert report["totals"]["lookups"] == sum(
+        t["lookups"] for t in per_tenant.values()
+    )
+    assert report["resident"] == 6
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        CacheConfig(capacity=0)
+    with pytest.raises(WorkloadError):
+        CacheConfig(eviction="mru")
+    with pytest.raises(WorkloadError):
+        CacheConfig(admission="tinylfu")
+    with pytest.raises(WorkloadError):
+        CacheConfig(admit_p=1.5)
+    with pytest.raises(WorkloadError):
+        CacheConfig(protected_fraction=1.0)
+    with pytest.raises(WorkloadError):
+        DramCache(CacheConfig(), tenants=0)

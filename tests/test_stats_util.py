@@ -1,0 +1,63 @@
+"""Unit tests for the shared nearest-rank percentile helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats_util import nearest_rank_index, percentile
+
+
+def test_nearest_rank_index_known_values():
+    # Classic nearest-rank: rank = round(fraction * count), 1-based.
+    assert nearest_rank_index(10, 0.50) == 4
+    assert nearest_rank_index(10, 0.95) == 9
+    assert nearest_rank_index(10, 0.99) == 9
+    assert nearest_rank_index(100, 0.99) == 98
+    assert nearest_rank_index(1, 0.999) == 0
+
+
+def test_nearest_rank_index_clamps_to_sample():
+    assert nearest_rank_index(5, 0.0) == 0
+    assert nearest_rank_index(5, 1.0) == 4
+    assert nearest_rank_index(3, 0.001) == 0
+
+
+def test_nearest_rank_index_rejects_empty_sample():
+    with pytest.raises(ValueError):
+        nearest_rank_index(0, 0.5)
+    with pytest.raises(ValueError):
+        nearest_rank_index(-1, 0.5)
+
+
+def test_percentile_empty_returns_none():
+    assert percentile([], 0.5) is None
+
+
+def test_percentile_sorts_a_copy():
+    values = [3.0, 1.0, 2.0]
+    assert percentile(values, 0.5) == 2.0
+    assert values == [3.0, 1.0, 2.0]
+
+
+def test_percentile_matches_runner_tail_convention():
+    # 20 wall times 1..20: p50 -> rank 10 (value 10), p95 -> rank 19.
+    values = [float(i) for i in range(1, 21)]
+    assert percentile(values, 0.50) == 10.0
+    assert percentile(values, 0.95) == 19.0
+    assert percentile(values, 0.999) == 20.0
+
+
+@given(
+    st.lists(st.floats(0.0, 1e9), min_size=1, max_size=200),
+    st.floats(0.0, 1.0),
+)
+def test_percentile_always_returns_an_observed_value(values, fraction):
+    result = percentile(values, fraction)
+    assert result in values
+
+
+@given(st.lists(st.floats(0.0, 1e9), min_size=1, max_size=100))
+def test_percentile_is_monotone_in_fraction(values):
+    fractions = (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+    results = [percentile(values, fraction) for fraction in fractions]
+    assert results == sorted(results)

@@ -50,8 +50,11 @@ def test_registry_covers_every_paper_artefact():
         "explore-check",
         # The N-tier hybrid-memory generalization.
         "tier-sweep", "migration-policy",
+        # The trace-driven multi-tenant KV service (repro.service).
+        "service-latency", "cache-policy",
         # Streaming sweep grids (repro.validation.sweep presets).
         "sweep-latency-grid", "sweep-tier-grid", "sweep-migration-grid",
+        "sweep-service-grid",
     }
     assert set(REGISTRY) == expected
 
